@@ -1,0 +1,258 @@
+// Package routelab_test holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation (regenerating the same
+// rows/series), plus micro-benchmarks of the substrates they stand on.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks share one lazily-built scenario (the
+// expensive part — topology generation plus two full routing
+// convergences — is measured separately by BenchmarkScenarioBuild at a
+// reduced scale).
+package routelab_test
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"routelab/internal/asn"
+	"routelab/internal/bgp"
+	"routelab/internal/classify"
+	"routelab/internal/experiments"
+	"routelab/internal/gaorexford"
+	"routelab/internal/scenario"
+	"routelab/internal/topology"
+	"routelab/internal/wire"
+)
+
+var (
+	benchOnce sync.Once
+	benchScen *scenario.Scenario
+)
+
+// benchScenario builds the shared evaluation scenario once.
+func benchScenario(b *testing.B) *scenario.Scenario {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := scenario.TestConfig()
+		cfg.Topology.Scale = 0.2
+		cfg.NumProbes = 400
+		cfg.TracesTarget = 5000
+		s, err := scenario.Build(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchScen = s
+	})
+	if benchScen == nil {
+		b.Skip("scenario build failed earlier")
+	}
+	return benchScen
+}
+
+// BenchmarkTable1Probes regenerates Table 1 (probe distribution by AS
+// class).
+func BenchmarkTable1Probes(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(io.Discard, s)
+	}
+}
+
+// BenchmarkFigure1Breakdown regenerates Figure 1 (the decision
+// classification across all seven refinement columns).
+func BenchmarkFigure1Breakdown(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure1(io.Discard, s)
+	}
+}
+
+// BenchmarkTable2Magnet regenerates Table 2 (the magnet/anycast
+// experiment and its decision-step classification).
+func BenchmarkTable2Magnet(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(io.Discard, s, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// BenchmarkFigure2Skew regenerates Figure 2 (violation skew CDFs).
+func BenchmarkFigure2Skew(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2(io.Discard, s)
+	}
+}
+
+// BenchmarkFigure3Continents regenerates Figure 3 (geographic
+// breakdown).
+func BenchmarkFigure3Continents(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3(io.Discard, s)
+	}
+}
+
+// BenchmarkTable3Domestic regenerates Table 3 (domestic-path
+// preference attribution).
+func BenchmarkTable3Domestic(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(io.Discard, s)
+	}
+}
+
+// BenchmarkTable4Cables regenerates Table 4 (undersea-cable
+// attribution).
+func BenchmarkTable4Cables(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(io.Discard, s)
+	}
+}
+
+// BenchmarkAlternateRoutes regenerates the §4.4 alternate-route
+// discovery campaign (iterated poisoning against every observed
+// target).
+func BenchmarkAlternateRoutes(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Alternates(io.Discard, s, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// BenchmarkScenarioBuild measures the end-to-end cost of assembling a
+// (reduced-scale) scenario: topology generation, two full routing
+// convergences, five feed snapshots, inference, and the traceroute
+// campaign.
+func BenchmarkScenarioBuild(b *testing.B) {
+	cfg := scenario.TestConfig()
+	cfg.NumProbes = 120
+	cfg.TracesTarget = 1200
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := scenario.Build(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------
+
+// BenchmarkConvergePrefix measures one prefix's route-vector
+// convergence over the full-size topology (the unit of work behind
+// every experiment).
+func BenchmarkConvergePrefix(b *testing.B) {
+	topo := topology.Generate(1, topology.DefaultConfig())
+	engine := bgp.New(topo, 1)
+	prefixes := topo.OriginatedPrefixes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := prefixes[i%len(prefixes)]
+		c := engine.NewComputation(p)
+		c.Announce(bgp.Announcement{Origin: topo.OriginOf(p)})
+		c.Converge()
+	}
+}
+
+// BenchmarkPoisonReconverge measures the incremental reconvergence
+// after a poisoned announcement — the inner loop of the §3.2
+// experiments.
+func BenchmarkPoisonReconverge(b *testing.B) {
+	topo := topology.Generate(1, topology.TestConfig())
+	engine := bgp.New(topo, 1)
+	peeringAS := topo.Names["peering"]
+	p := topo.AS(peeringAS).Prefixes[0]
+	mux := topo.Names["mux-0"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := engine.NewComputation(p)
+		c.Announce(bgp.Announcement{Origin: peeringAS})
+		c.Converge()
+		c.Announce(bgp.Announcement{Origin: peeringAS, Poisoned: []asn.ASN{mux}})
+		c.Converge()
+	}
+}
+
+// BenchmarkWireUpdateRoundTrip measures RFC 4271 UPDATE encode+decode.
+func BenchmarkWireUpdateRoundTrip(b *testing.B) {
+	u := wire.Update{
+		Origin:  wire.OriginIGP,
+		ASPath:  asn.PathFromASNs(3356, 174, 65000).PrependSet([]asn.ASN{64512, 64513}).Prepend(3356),
+		NextHop: asn.AddrFrom4(192, 0, 2, 1),
+		NLRI: []asn.Prefix{
+			asn.NewPrefix(asn.AddrFrom4(198, 51, 100, 0), 24),
+			asn.NewPrefix(asn.AddrFrom4(203, 0, 113, 0), 25),
+		},
+	}
+	var buf []byte
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = u.Encode(buf[:0])
+		if _, err := wire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassifyDecision measures a single decision classification
+// under the combined All-1 refinement (model caches warm).
+func BenchmarkClassifyDecision(b *testing.B) {
+	s := benchScenario(b)
+	ds := s.Decisions()
+	if len(ds) == 0 {
+		b.Skip("no decisions")
+	}
+	// Warm caches.
+	for _, d := range ds[:min(len(ds), 256)] {
+		s.Context.Classify(d, classify.All1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Context.Classify(ds[i%len(ds)], classify.All1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkPathPrediction measures the path-predictor extension over the
+// campaign's measured paths.
+func BenchmarkPathPrediction(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Prediction(io.Discard, s)
+	}
+}
+
+// BenchmarkGaoRexfordCompute measures one destination's model
+// computation over the inferred full-scale-style graph.
+func BenchmarkGaoRexfordCompute(b *testing.B) {
+	s := benchScenario(b)
+	ds := s.Decisions()
+	if len(ds) == 0 {
+		b.Skip("no decisions")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gaorexford.Compute(s.Context.Graph, ds[i%len(ds)].DstAS)
+	}
+}

@@ -1,0 +1,74 @@
+// Command bgpcollector runs a RouteViews-style collector: it listens
+// for RFC 4271 BGP sessions, drains each peer's table export, and on
+// SIGINT (or after -timeout) writes everything it heard as a routelab
+// MRT snapshot.
+//
+// Pair it with cmd/bgpexport to move a synthetic Internet's routes
+// across a real TCP connection:
+//
+//	bgpcollector -listen 127.0.0.1:1790 -out feed.mrt &
+//	bgpexport    -connect 127.0.0.1:1790 -seed 7 -scale 0.15 -peers 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"routelab/internal/asn"
+	"routelab/internal/mrt"
+	"routelab/internal/session"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:1790", "listen address")
+		out     = flag.String("out", "feed.mrt", "snapshot output path")
+		localAS = flag.Uint("as", 64999, "collector AS number")
+		epoch   = flag.Int("epoch", 0, "snapshot epoch tag")
+		timeout = flag.Duration("timeout", 0, "stop after this long (0 = wait for SIGINT)")
+	)
+	flag.Parse()
+
+	col, err := session.NewCollector(*listen, session.Config{AS: asn.ASN(*localAS), BGPID: 0x7f000001})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "collecting on %s (AS%d); ctrl-c to dump\n", col.Addr(), *localAS)
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		if *timeout > 0 {
+			select {
+			case <-sig:
+			case <-time.After(*timeout):
+			}
+		} else {
+			<-sig
+		}
+		close(done)
+	}()
+	<-done
+
+	snap := col.Snapshot(*epoch)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := mrt.Write(f, snap); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(snap.Entries), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgpcollector:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Command bgpexport converges routing over a generated topology and
+// exports a sample of vantage peers' tables to a collector over real
+// RFC 4271 BGP sessions — the wire-level counterpart of the in-process
+// vantage.Collect used by the experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"routelab/internal/bgp"
+	"routelab/internal/session"
+	"routelab/internal/topology"
+	"routelab/internal/vantage"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "127.0.0.1:1790", "collector address")
+		seed    = flag.Int64("seed", 7, "generator seed")
+		scale   = flag.Float64("scale", 0.15, "topology scale")
+		peers   = flag.Int("peers", 10, "number of feed peers to export")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.Scale = *scale
+	topo := topology.Generate(*seed, cfg)
+	fmt.Fprintf(os.Stderr, "converging %d prefixes over %d ASes...\n",
+		len(topo.OriginatedPrefixes()), topo.NumASes())
+	engine := bgp.New(topo, *seed)
+	rib := engine.ComputeFullRIB(0)
+
+	vps := vantage.SelectPeers(topo, rand.New(rand.NewSource(*seed)), *peers)
+	for _, p := range vps {
+		if err := session.ExportRoutes(*connect, p, rib, session.Config{BGPID: uint32(p)}); err != nil {
+			fmt.Fprintf(os.Stderr, "bgpexport: peer %s: %v\n", p, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "exported %s\n", p)
+	}
+}

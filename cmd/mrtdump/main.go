@@ -1,0 +1,80 @@
+// Command mrtdump inspects a routelab MRT feed snapshot: summary
+// statistics, per-peer entry counts, and (with -rels) a relationship
+// graph inferred from the snapshot written out in CAIDA serial-1
+// format — the whole offline inference pipeline as a shell command:
+//
+//	topogen -feed feed.mrt
+//	mrtdump -rels inferred.txt feed.mrt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/inference"
+	"routelab/internal/mrt"
+	"routelab/internal/serial"
+)
+
+func main() {
+	relsPath := flag.String("rels", "", "infer relationships and write serial-1 here")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mrtdump [-rels FILE] <snapshot.mrt>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	snap, err := mrt.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	perPeer := map[asn.ASN]int{}
+	prefixes := map[asn.Prefix]bool{}
+	maxLen := 0
+	for i := range snap.Entries {
+		e := &snap.Entries[i]
+		perPeer[e.Peer]++
+		prefixes[e.Prefix] = true
+		if len(e.Path) > maxLen {
+			maxLen = len(e.Path)
+		}
+	}
+	fmt.Printf("epoch %d: %d entries, %d peers, %d prefixes, longest path %d\n",
+		snap.Epoch, len(snap.Entries), len(perPeer), len(prefixes), maxLen)
+	peers := make([]asn.ASN, 0, len(perPeer))
+	for p := range perPeer {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, p := range peers {
+		fmt.Printf("  %-8s %d entries\n", p, perPeer[p])
+	}
+
+	if *relsPath != "" {
+		g := inference.InferSnapshot(snap, inference.DefaultConfig())
+		out, err := os.Create(*relsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := serial.Write(out, g); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("inferred %d relationships -> %s\n", g.NumEdges(), *relsPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrtdump:", err)
+	os.Exit(1)
+}

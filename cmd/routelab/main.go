@@ -1,0 +1,81 @@
+// Command routelab reproduces the evaluation of "Investigating
+// Interdomain Routing Policies in the Wild" (IMC 2015) over a synthetic
+// Internet: it builds the full scenario (ground-truth topology, routing,
+// monitor feeds, relationship inference, Atlas traceroute campaign) and
+// regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	routelab [flags] <experiment>
+//
+// where <experiment> is one of: all, table1, figure1, table2, figure2,
+// figure3, table3, table4, alternates.
+//
+// Flags:
+//
+//	-seed N     master seed (default 2015)
+//	-scale F    topology scale factor (default 1.0; 0.1 is fast)
+//	-traces N   traceroute campaign size (default 28510)
+//	-probes N   selected probe count (default 1998)
+//	-quiet      suppress build progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routelab/internal/experiments"
+	"routelab/internal/scenario"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 2015, "master seed")
+		scale  = flag.Float64("scale", 1.0, "topology scale factor")
+		traces = flag.Int("traces", 28510, "traceroute campaign size")
+		probes = flag.Int("probes", 1998, "selected probe count")
+		quiet  = flag.Bool("quiet", false, "suppress build progress")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: routelab [flags] <experiment>\nexperiments: %v\nflags:\n",
+			experiments.Names())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	cfg := scenario.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Topology.Scale = *scale
+	cfg.TracesTarget = *traces
+	cfg.NumProbes = *probes
+	if *scale < 0.5 {
+		// Small topologies have proportionally fewer probes available.
+		cfg.NumProbes = int(float64(cfg.NumProbes) * *scale * 2)
+		if cfg.NumProbes < 60 {
+			cfg.NumProbes = 60
+		}
+		cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
+	}
+
+	logf := scenario.Logf(nil)
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	s, err := scenario.Build(cfg, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routelab:", err)
+		os.Exit(1)
+	}
+	if err := experiments.Run(name, os.Stdout, s, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "routelab:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command topogen generates a synthetic ground-truth Internet and
+// exports it in analysis-ready forms: a summary to stderr, the true
+// AS-relationship graph in CAIDA serial-1 format, and (optionally) a
+// monitor feed snapshot in routelab's MRT framing.
+//
+// Usage:
+//
+//	topogen [-seed N] [-scale F] [-rels FILE] [-feed FILE] [-peers N]
+//
+// The serial file can be diffed against an inferred graph; the feed
+// file is what cmd/mrtdump inspects and what inference consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"routelab/internal/bgp"
+	"routelab/internal/mrt"
+	"routelab/internal/relgraph"
+	"routelab/internal/serial"
+	"routelab/internal/topology"
+	"routelab/internal/vantage"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 2015, "generator seed")
+		scale    = flag.Float64("scale", 0.15, "topology scale factor")
+		relsPath = flag.String("rels", "", "write ground-truth relationships (serial-1) here")
+		feedPath = flag.String("feed", "", "converge routing and write a monitor snapshot (MRT) here")
+		peers    = flag.Int("peers", 30, "feed peers for -feed")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.Scale = *scale
+	topo := topology.Generate(*seed, cfg)
+	counts := map[topology.Class]int{}
+	for _, a := range topo.ASNs() {
+		counts[topo.AS(a).Class]++
+	}
+	fmt.Fprintf(os.Stderr, "generated %d ASes, %d links, %d prefixes, %d retired links\n",
+		topo.NumASes(), topo.NumLinks(), len(topo.OriginatedPrefixes()), len(topo.RetiredLinks))
+	for _, cls := range []topology.Class{topology.Tier1, topology.LargeISP, topology.SmallISP,
+		topology.Stub, topology.Content, topology.CableOp, topology.Research} {
+		fmt.Fprintf(os.Stderr, "  %-10s %d\n", cls, counts[cls])
+	}
+
+	if *relsPath != "" {
+		f, err := os.Create(*relsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := serial.Write(f, relgraph.FromTopology(topo)); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote relationships to %s\n", *relsPath)
+	}
+
+	if *feedPath != "" {
+		fmt.Fprintln(os.Stderr, "converging routing for the feed snapshot...")
+		engine := bgp.New(topo, *seed)
+		rib := engine.ComputeFullRIB(0)
+		vps := vantage.SelectPeers(topo, rand.New(rand.NewSource(*seed)), *peers)
+		snap := vantage.Collect(rib, vps, 0)
+		f, err := os.Create(*feedPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mrt.Write(f, snap); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d feed entries from %d peers to %s\n",
+			len(snap.Entries), len(vps), *feedPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

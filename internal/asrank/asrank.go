@@ -1,0 +1,108 @@
+// Package asrank computes customer cones and size rankings over an AS
+// relationship graph — the machinery behind CAIDA's AS Rank, used here
+// for the Oliveira-style AS categorization (Table 1) and as an analysis
+// aid (cone sizes are how "Large ISP" is even defined).
+package asrank
+
+import (
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+)
+
+// Ranking holds cone sizes and orderings for one graph.
+type Ranking struct {
+	coneSize map[asn.ASN]int
+	order    []asn.ASN // descending cone size, ties by ASN
+}
+
+// Compute derives every AS's customer cone (the set of ASes reachable by
+// walking provider→customer edges, the AS itself included) and ranks by
+// cone size. Sibling edges join cones in both directions, matching how
+// AS Rank treats organizations.
+func Compute(g *relgraph.Graph) *Ranking {
+	r := &Ranking{coneSize: make(map[asn.ASN]int)}
+	asns := g.ASNs()
+	for _, a := range asns {
+		r.coneSize[a] = len(cone(g, a))
+	}
+	r.order = append(r.order, asns...)
+	sort.Slice(r.order, func(i, j int) bool {
+		if r.coneSize[r.order[i]] != r.coneSize[r.order[j]] {
+			return r.coneSize[r.order[i]] > r.coneSize[r.order[j]]
+		}
+		return r.order[i] < r.order[j]
+	})
+	return r
+}
+
+// cone walks customer and sibling edges breadth-first.
+func cone(g *relgraph.Graph, a asn.ASN) map[asn.ASN]bool {
+	seen := map[asn.ASN]bool{a: true}
+	queue := []asn.ASN{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range g.Neighbors(cur) {
+			rel := g.Rel(cur, n)
+			if rel != topology.RelCustomer && rel != topology.RelSibling {
+				continue
+			}
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return seen
+}
+
+// ConeSize returns the AS's customer-cone size (1 = itself only), or 0
+// for ASes absent from the graph.
+func (r *Ranking) ConeSize(a asn.ASN) int { return r.coneSize[a] }
+
+// Rank returns the 1-based rank of an AS (1 = largest cone), or 0 when
+// absent.
+func (r *Ranking) Rank(a asn.ASN) int {
+	for i, x := range r.order {
+		if x == a {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Top returns the n largest-cone ASes.
+func (r *Ranking) Top(n int) []asn.ASN {
+	if n > len(r.order) {
+		n = len(r.order)
+	}
+	return r.order[:n]
+}
+
+// Classify buckets an AS by observable structure, after Oliveira et al.:
+// Tier-1 networks buy no transit, large ISPs have cones of at least
+// largeCone ASes, small ISPs have any customers, stubs none.
+func (r *Ranking) Classify(g *relgraph.Graph, a asn.ASN, largeCone int) topology.Class {
+	providers, customers := 0, 0
+	for _, n := range g.Neighbors(a) {
+		switch g.Rel(a, n) {
+		case topology.RelProvider:
+			providers++
+		case topology.RelCustomer:
+			customers++
+		}
+	}
+	switch {
+	case providers == 0 && customers > 0:
+		return topology.Tier1
+	case customers == 0:
+		return topology.Stub
+	case r.ConeSize(a) >= largeCone:
+		return topology.LargeISP
+	default:
+		return topology.SmallISP
+	}
+}

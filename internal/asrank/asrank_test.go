@@ -1,0 +1,99 @@
+package asrank
+
+import (
+	"testing"
+
+	"routelab/internal/asn"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+)
+
+// chainGraph: t(1) ← m(2) ← s(3); p(4) peers with m.
+func chainGraph() *relgraph.Graph {
+	g := relgraph.New()
+	g.Set(1, 2, topology.RelCustomer) // 2 is 1's customer
+	g.Set(2, 3, topology.RelCustomer) // 3 is 2's customer
+	g.Set(2, 4, topology.RelPeer)
+	return g
+}
+
+func TestConeSizes(t *testing.T) {
+	r := Compute(chainGraph())
+	for a, want := range map[asn.ASN]int{1: 3, 2: 2, 3: 1, 4: 1} {
+		if got := r.ConeSize(a); got != want {
+			t.Errorf("ConeSize(%d) = %d, want %d", a, got, want)
+		}
+	}
+	if r.ConeSize(99) != 0 {
+		t.Error("absent AS should have cone 0")
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	r := Compute(chainGraph())
+	if r.Rank(1) != 1 || r.Rank(2) != 2 {
+		t.Errorf("ranks: 1→%d, 2→%d", r.Rank(1), r.Rank(2))
+	}
+	top := r.Top(2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("Top(2) = %v", top)
+	}
+	if len(r.Top(100)) != 4 {
+		t.Error("Top beyond size should clamp")
+	}
+	if r.Rank(99) != 0 {
+		t.Error("absent AS should rank 0")
+	}
+}
+
+func TestSiblingsJoinCones(t *testing.T) {
+	g := chainGraph()
+	g.Set(2, 5, topology.RelSibling) // 5 sibling of 2
+	r := Compute(g)
+	// 5's cone includes 2's cone via the sibling edge.
+	if got := r.ConeSize(5); got != 3 {
+		t.Errorf("sibling cone = %d, want 3 (5,2,3)", got)
+	}
+	// And 1's cone now includes 5 through 2.
+	if got := r.ConeSize(1); got != 4 {
+		t.Errorf("top cone = %d, want 4", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	g := chainGraph()
+	r := Compute(g)
+	if got := r.Classify(g, 1, 3); got != topology.Tier1 {
+		t.Errorf("1 = %v, want Tier-1 (no providers)", got)
+	}
+	if got := r.Classify(g, 3, 3); got != topology.Stub {
+		t.Errorf("3 = %v, want Stub", got)
+	}
+	if got := r.Classify(g, 2, 2); got != topology.LargeISP {
+		t.Errorf("2 with threshold 2 = %v, want Large ISP", got)
+	}
+	if got := r.Classify(g, 2, 10); got != topology.SmallISP {
+		t.Errorf("2 with threshold 10 = %v, want Small ISP", got)
+	}
+}
+
+// Against the generated topology: the graph-based classification should
+// broadly agree with ground-truth classes for the ISP hierarchy.
+func TestClassifyAgainstGroundTruth(t *testing.T) {
+	topo := topology.Generate(95, topology.TestConfig())
+	g := relgraph.FromTopology(topo)
+	r := Compute(g)
+	agree, total := 0, 0
+	for _, cls := range []topology.Class{topology.Tier1, topology.Stub} {
+		for _, a := range topo.ASesOfClass(cls) {
+			total++
+			got := r.Classify(g, a, 40)
+			if got == cls {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.85 {
+		t.Errorf("clear-cut class agreement %.2f < 0.85", frac)
+	}
+}

@@ -1,0 +1,202 @@
+// Package atlas emulates the RIPE Atlas measurement platform: a global
+// probe population skewed toward Europe (as the real platform is), the
+// paper's continent-balanced round-robin probe selection (§3.1), and
+// the degree-based AS categorization (after Oliveira et al.) used to
+// report Table 1.
+package atlas
+
+import (
+	"math/rand"
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/geo"
+	"routelab/internal/topology"
+)
+
+// Probe is one measurement vantage point: a host inside an eyeball AS.
+type Probe struct {
+	ID   int
+	AS   asn.ASN
+	City geo.CityID
+	Addr asn.Addr
+}
+
+// Platform is the probe population.
+type Platform struct {
+	topo   *topology.Topology
+	probes []Probe
+}
+
+// continentWeight reproduces Atlas's deployment skew.
+var continentWeight = map[geo.Continent]float64{
+	geo.EU: 3.0, geo.NA: 1.5, geo.AS: 0.8,
+	geo.SA: 0.5, geo.AF: 0.3, geo.OC: 0.5,
+}
+
+// NewPlatform deploys probes across the topology's eyeball networks.
+// Density follows the continent weights; a few probes land in large
+// ISPs and Tier-1 backbones, as on the real platform.
+func NewPlatform(topo *topology.Topology, seed int64) *Platform {
+	rng := rand.New(rand.NewSource(seed))
+	pl := &Platform{topo: topo}
+	candidates := append(topo.ASesOfClass(topology.Stub), topo.ASesOfClass(topology.SmallISP)...)
+	candidates = append(candidates, topo.ASesOfClass(topology.LargeISP)...)
+	candidates = append(candidates, topo.ASesOfClass(topology.Tier1)...)
+	for _, a := range candidates {
+		x := topo.AS(a)
+		if len(x.Prefixes) == 0 || len(x.Cities) == 0 {
+			continue
+		}
+		cont := topo.World.Country(x.HomeCountry).Continent
+		w := continentWeight[cont]
+		switch x.Class {
+		case topology.LargeISP:
+			w *= 0.4
+		case topology.Tier1:
+			w *= 0.2
+		}
+		n := 0
+		for rng.Float64() < w {
+			n++
+			w /= 2.5
+			if n >= 6 {
+				break
+			}
+		}
+		for k := 0; k < n; k++ {
+			city := x.Cities[rng.Intn(len(x.Cities))]
+			pl.probes = append(pl.probes, Probe{
+				ID:   len(pl.probes) + 1,
+				AS:   a,
+				City: city,
+				Addr: x.Prefixes[0].Nth(topology.HostOffset(uint32(len(pl.probes)))),
+			})
+		}
+	}
+	return pl
+}
+
+// Probes returns the whole population. Shared; do not modify.
+func (pl *Platform) Probes() []Probe { return pl.probes }
+
+// NumProbes returns the population size.
+func (pl *Platform) NumProbes() int { return len(pl.probes) }
+
+// SelectBalanced implements §3.1's sampling: an equal quota per
+// continent, filled round-robin across the continent's countries and,
+// within a country, round-robin across its ASes, so the sample covers a
+// wide range of ASes instead of mirroring the EU-heavy population.
+func (pl *Platform) SelectBalanced(rng *rand.Rand, total int) []Probe {
+	quota := total / len(geo.Continents)
+	// Index probes by continent → country → AS.
+	type asKey struct {
+		cc geo.CountryCode
+		a  asn.ASN
+	}
+	byCont := make(map[geo.Continent]map[geo.CountryCode]map[asn.ASN][]Probe)
+	for _, p := range pl.probes {
+		cont := pl.topo.World.ContinentOf(p.City)
+		cc := pl.topo.World.CountryOf(p.City)
+		if byCont[cont] == nil {
+			byCont[cont] = make(map[geo.CountryCode]map[asn.ASN][]Probe)
+		}
+		if byCont[cont][cc] == nil {
+			byCont[cont][cc] = make(map[asn.ASN][]Probe)
+		}
+		byCont[cont][cc][p.AS] = append(byCont[cont][cc][p.AS], p)
+	}
+	_ = asKey{}
+	var out []Probe
+	for _, cont := range geo.Continents {
+		countries := make([]geo.CountryCode, 0, len(byCont[cont]))
+		for cc := range byCont[cont] {
+			countries = append(countries, cc)
+		}
+		sort.Slice(countries, func(i, j int) bool { return countries[i] < countries[j] })
+		rng.Shuffle(len(countries), func(i, j int) { countries[i], countries[j] = countries[j], countries[i] })
+		// Per-country AS rings.
+		rings := make([][][]Probe, len(countries))
+		for ci, cc := range countries {
+			asns := make([]asn.ASN, 0, len(byCont[cont][cc]))
+			for a := range byCont[cont][cc] {
+				asns = append(asns, a)
+			}
+			sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+			for _, a := range asns {
+				ps := byCont[cont][cc][a]
+				rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+				rings[ci] = append(rings[ci], ps)
+			}
+		}
+		picked := 0
+		for round := 0; picked < quota; round++ {
+			progress := false
+			for ci := range rings {
+				if picked >= quota {
+					break
+				}
+				// Within the country, take from the round-th AS ring.
+				for len(rings[ci]) > 0 {
+					ai := round % len(rings[ci])
+					if len(rings[ci][ai]) == 0 {
+						rings[ci] = append(rings[ci][:ai], rings[ci][ai+1:]...)
+						continue
+					}
+					out = append(out, rings[ci][ai][0])
+					rings[ci][ai] = rings[ci][ai][1:]
+					picked++
+					progress = true
+					break
+				}
+			}
+			if !progress {
+				break // continent exhausted
+			}
+		}
+	}
+	return out
+}
+
+// ClassifyByDegree categorizes an AS from observable graph structure
+// (the Oliveira-et-al.-style method behind Table 1): Tier-1 networks
+// buy no transit; large ISPs have big customer cones; small ISPs have
+// customers; stubs have none.
+func ClassifyByDegree(topo *topology.Topology, a asn.ASN) topology.Class {
+	providers, customers := 0, 0
+	for _, n := range topo.Neighbors(a) {
+		switch n.Role {
+		case topology.RelProvider:
+			providers++
+		case topology.RelCustomer:
+			customers++
+		}
+	}
+	switch {
+	case providers == 0 && customers > 0:
+		return topology.Tier1
+	case customers == 0:
+		return topology.Stub
+	case coneSize(topo, a) >= 40:
+		return topology.LargeISP
+	default:
+		return topology.SmallISP
+	}
+}
+
+// coneSize counts the ASes in a's customer cone (a excluded).
+func coneSize(topo *topology.Topology, a asn.ASN) int {
+	seen := map[asn.ASN]bool{a: true}
+	queue := []asn.ASN{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range topo.Neighbors(cur) {
+			if n.Role == topology.RelCustomer && !seen[n.ASN] {
+				seen[n.ASN] = true
+				queue = append(queue, n.ASN)
+			}
+		}
+	}
+	return len(seen) - 1
+}

@@ -1,0 +1,129 @@
+package atlas
+
+import (
+	"math/rand"
+	"testing"
+
+	"routelab/internal/geo"
+	"routelab/internal/topology"
+)
+
+var testTopo = topology.Generate(51, topology.TestConfig())
+
+func TestPlatformPopulation(t *testing.T) {
+	pl := NewPlatform(testTopo, 51)
+	if pl.NumProbes() < 100 {
+		t.Fatalf("only %d probes deployed", pl.NumProbes())
+	}
+	// The raw population must be EU-skewed.
+	byCont := map[geo.Continent]int{}
+	for _, p := range pl.Probes() {
+		cont := testTopo.World.ContinentOf(p.City)
+		if cont == geo.ContinentNone {
+			t.Fatalf("probe %d has no continent", p.ID)
+		}
+		byCont[cont]++
+		// Probe address must be inside the host AS's announced space.
+		if got := testTopo.ASByAddr(p.Addr); got != p.AS {
+			t.Fatalf("probe %d address %v resolves to %v, want %v", p.ID, p.Addr, got, p.AS)
+		}
+		if !testTopo.AS(p.AS).HasCity(p.City) {
+			t.Fatalf("probe %d city %d is not a PoP of %v", p.ID, p.City, p.AS)
+		}
+	}
+	if byCont[geo.EU] <= byCont[geo.AF] {
+		t.Errorf("population not EU-skewed: EU=%d AF=%d", byCont[geo.EU], byCont[geo.AF])
+	}
+}
+
+func TestPlatformDeterministic(t *testing.T) {
+	a := NewPlatform(testTopo, 7)
+	b := NewPlatform(testTopo, 7)
+	if a.NumProbes() != b.NumProbes() {
+		t.Fatal("same seed, different populations")
+	}
+	for i := range a.Probes() {
+		if a.Probes()[i] != b.Probes()[i] {
+			t.Fatalf("probe %d differs", i)
+		}
+	}
+}
+
+func TestSelectBalancedEvensContinents(t *testing.T) {
+	pl := NewPlatform(testTopo, 51)
+	sel := pl.SelectBalanced(rand.New(rand.NewSource(1)), 120)
+	if len(sel) == 0 {
+		t.Fatal("empty selection")
+	}
+	byCont := map[geo.Continent]int{}
+	seen := map[int]bool{}
+	for _, p := range sel {
+		if seen[p.ID] {
+			t.Fatalf("probe %d selected twice", p.ID)
+		}
+		seen[p.ID] = true
+		byCont[testTopo.World.ContinentOf(p.City)]++
+	}
+	quota := 120 / 6
+	for _, cont := range geo.Continents {
+		if byCont[cont] > quota {
+			t.Errorf("%s over quota: %d > %d", cont, byCont[cont], quota)
+		}
+	}
+	// Europe must not dominate despite the population skew.
+	if byCont[geo.EU] > 2*byCont[geo.NA]+5 {
+		t.Errorf("selection still EU-skewed: %v", byCont)
+	}
+}
+
+func TestSelectBalancedSpreadsASes(t *testing.T) {
+	pl := NewPlatform(testTopo, 51)
+	sel := pl.SelectBalanced(rand.New(rand.NewSource(2)), 120)
+	ases := map[string]int{}
+	for _, p := range sel {
+		ases[p.AS.String()]++
+	}
+	// Round-robin over countries and ASes should keep per-AS counts low.
+	for a, n := range ases {
+		if n > 6 {
+			t.Errorf("AS %s holds %d selected probes — selection not spread", a, n)
+		}
+	}
+}
+
+func TestClassifyByDegree(t *testing.T) {
+	counts := map[topology.Class]int{}
+	for _, p := range NewPlatform(testTopo, 51).Probes() {
+		counts[ClassifyByDegree(testTopo, p.AS)]++
+	}
+	if counts[topology.Stub] == 0 || counts[topology.SmallISP] == 0 {
+		t.Errorf("probe classification missing edge classes: %v", counts)
+	}
+	// Ground-truth agreement on clear-cut cases. A Tier-1 that leases
+	// undersea-cable capacity LOOKS like it buys transit, so the
+	// degree method legitimately demotes it — skip those.
+	for _, a := range testTopo.ASesOfClass(topology.Tier1) {
+		buysCable := false
+		for _, n := range testTopo.Neighbors(a) {
+			if n.Role == topology.RelProvider {
+				buysCable = buysCable || testTopo.IsCableAS(n.ASN)
+			}
+		}
+		if buysCable {
+			continue
+		}
+		if got := ClassifyByDegree(testTopo, a); got != topology.Tier1 {
+			t.Errorf("Tier-1 %v classified as %v", a, got)
+		}
+	}
+	misStub := 0
+	stubs := testTopo.ASesOfClass(topology.Stub)
+	for _, a := range stubs {
+		if got := ClassifyByDegree(testTopo, a); got != topology.Stub {
+			misStub++
+		}
+	}
+	if misStub > len(stubs)/10 {
+		t.Errorf("%d/%d stubs misclassified", misStub, len(stubs))
+	}
+}

@@ -1,0 +1,495 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/topology"
+)
+
+// Engine computes ground-truth routing over a topology. It is stateless
+// after construction and safe for concurrent use; all per-prefix state
+// lives in Computation.
+type Engine struct {
+	topo *topology.Topology
+	seed int64
+
+	// Dense indexes for the hot path. asns[i] is the AS at index i;
+	// index[a] is the inverse. nbrs[i] aliases the topology's neighbor
+	// slice. backSlot[i][s] is the slot of AS i inside the neighbor list
+	// of its s-th neighbor, so advertisement delivery is O(1).
+	asns     []asn.ASN
+	index    map[asn.ASN]int32
+	nbrs     [][]topology.Neighbor
+	backSlot [][]int32
+}
+
+// New returns an engine. The seed drives the deterministic-but-arbitrary
+// parts of the ground truth (IGP costs, per-link interconnection city
+// assignment); two engines with the same topology and seed agree exactly.
+func New(topo *topology.Topology, seed int64) *Engine {
+	e := &Engine{topo: topo, seed: seed}
+	e.asns = topo.ASNs()
+	e.index = make(map[asn.ASN]int32, len(e.asns))
+	for i, a := range e.asns {
+		e.index[a] = int32(i)
+	}
+	e.nbrs = make([][]topology.Neighbor, len(e.asns))
+	for i, a := range e.asns {
+		e.nbrs[i] = topo.Neighbors(a)
+	}
+	e.backSlot = make([][]int32, len(e.asns))
+	slotOf := make(map[[2]asn.ASN]int32, len(e.asns)*4)
+	for i, a := range e.asns {
+		for s, n := range e.nbrs[i] {
+			slotOf[[2]asn.ASN{n.ASN, a}] = int32(s)
+		}
+	}
+	for i, a := range e.asns {
+		e.backSlot[i] = make([]int32, len(e.nbrs[i]))
+		for s, n := range e.nbrs[i] {
+			e.backSlot[i][s] = slotOf[[2]asn.ASN{a, n.ASN}]
+		}
+	}
+	return e
+}
+
+// Topology returns the engine's topology.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// maxEvents caps the event-driven convergence; policy bonuses step
+// outside the Gao–Rexford safety conditions, so divergence is
+// theoretically possible. The cap is far above anything a converging
+// run needs.
+const maxEventsPerAS = 64
+
+// Computation is an incremental per-prefix routing computation. Announce,
+// Withdraw, and Converge may be interleaved, which is how the PEERING
+// experiments change announcements over time. Not safe for concurrent use.
+type Computation struct {
+	e      *Engine
+	prefix asn.Prefix
+
+	anns map[asn.ASN]Announcement // active announcements, by origin
+
+	// adjIn[i][s] is the route AS i currently holds from its s-th
+	// neighbor (nil = none). best[i] is the installed best route.
+	adjIn [][]*Route
+	best  []*Route
+
+	// buckets is a path-length-bucketed priority queue of AS indexes
+	// whose advertisements must be recomputed. Processing shortest
+	// installed routes first approximates BFS propagation and slashes
+	// path-exploration churn. queued dedupes, force marks
+	// announcement-policy changes.
+	buckets [][]int32
+	nQueued int
+	queued  []bool
+	force   []bool
+
+	clock     int // monotone event counter; feeds Route.Age
+	converged bool
+
+	nProcessed, nChanges int
+}
+
+// NewComputation starts an empty computation for a prefix.
+func (e *Engine) NewComputation(prefix asn.Prefix) *Computation {
+	n := len(e.asns)
+	c := &Computation{
+		e:         e,
+		prefix:    prefix,
+		anns:      make(map[asn.ASN]Announcement),
+		adjIn:     make([][]*Route, n),
+		best:      make([]*Route, n),
+		buckets:   make([][]int32, 4*48),
+		queued:    make([]bool, n),
+		force:     make([]bool, n),
+		converged: true,
+	}
+	return c
+}
+
+func (c *Computation) idx(a asn.ASN) (int32, bool) {
+	i, ok := c.e.index[a]
+	return i, ok
+}
+
+func (c *Computation) enqueue(i int32) {
+	if c.queued[i] {
+		return
+	}
+	c.queued[i] = true
+	c.nQueued++
+	p := 0
+	if r := c.best[i]; r != nil {
+		// Mirror the classic three-phase computation: customer-learned
+		// routes settle first, then peer, then provider; shorter paths
+		// within each class. Origin routes (FromRel none) lead.
+		cls := 0
+		switch r.FromRel {
+		case topology.RelCustomer, topology.RelSibling:
+			cls = 1
+		case topology.RelPeer:
+			cls = 2
+		case topology.RelProvider:
+			cls = 3
+		}
+		l := r.pathLen
+		if l > 47 {
+			l = 47
+		}
+		p = cls*48 + l
+	}
+	c.buckets[p] = append(c.buckets[p], i)
+}
+
+// Announce activates an announcement (replacing any previous announcement
+// by the same origin) and marks the origin for reprocessing. Call
+// Converge to propagate.
+func (c *Computation) Announce(a Announcement) {
+	a.Prefix = c.prefix
+	c.anns[a.Origin] = a
+	if i, ok := c.idx(a.Origin); ok {
+		c.force[i] = true
+		c.enqueue(i)
+	}
+}
+
+// Withdraw removes an origin's announcement.
+func (c *Computation) Withdraw(origin asn.ASN) {
+	delete(c.anns, origin)
+	if i, ok := c.idx(origin); ok {
+		c.force[i] = true
+		c.enqueue(i)
+	}
+}
+
+// Converge drains the event queue to a fixed point (or the event cap)
+// and reports whether it settled.
+func (c *Computation) Converge() bool {
+	limit := maxEventsPerAS * len(c.e.asns)
+	events := 0
+	for c.nQueued > 0 {
+		i, ok := c.pop()
+		if !ok {
+			break
+		}
+		events++
+		if events > limit {
+			c.converged = false
+			return false
+		}
+		c.process(i)
+	}
+	c.converged = true
+	return true
+}
+
+// pop removes the queued AS with the shortest installed route.
+func (c *Computation) pop() (int32, bool) {
+	for p := range c.buckets {
+		b := c.buckets[p]
+		for len(b) > 0 {
+			i := b[0]
+			b = b[1:]
+			c.buckets[p] = b
+			if c.queued[i] {
+				c.queued[i] = false
+				c.nQueued--
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Converged reports whether the last Converge reached a fixed point.
+func (c *Computation) Converged() bool { return c.converged }
+
+// Best returns the installed best route at an AS.
+func (c *Computation) Best(a asn.ASN) (Route, bool) {
+	i, ok := c.idx(a)
+	if !ok || c.best[i] == nil {
+		return Route{}, false
+	}
+	return *c.best[i], true
+}
+
+// Step returns the decision step that selects the AS's current best
+// route over its runner-up, computed from the current adj-RIB-in.
+func (c *Computation) Step(a asn.ASN) (DecisionStep, bool) {
+	i, ok := c.idx(a)
+	if !ok || c.best[i] == nil {
+		return OnlyRoute, false
+	}
+	nb, second := c.bestTwo(i)
+	if nb == nil {
+		return OnlyRoute, false
+	}
+	if second == nil {
+		return OnlyRoute, true
+	}
+	return decisiveStep(nb, second), true
+}
+
+// bestTwo scans AS i's candidates for the two most preferred routes.
+func (c *Computation) bestTwo(i int32) (nb, second *Route) {
+	consider := func(r *Route) {
+		switch {
+		case r == nil:
+		case nb == nil || prefer(r, nb):
+			second = nb
+			nb = r
+		case second == nil || prefer(r, second):
+			second = r
+		}
+	}
+	consider(c.originRoute(c.e.asns[i]))
+	for _, r := range c.adjIn[i] {
+		consider(r)
+	}
+	return nb, second
+}
+
+// Alternatives returns every candidate route an AS currently holds in its
+// adj-RIB-in (plus its own origin route if it announces), sorted most
+// preferred first. The slice is freshly allocated.
+func (c *Computation) Alternatives(a asn.ASN) []Route {
+	i, ok := c.idx(a)
+	if !ok {
+		return nil
+	}
+	var cands []Route
+	if r := c.originRoute(a); r != nil {
+		cands = append(cands, *r)
+	}
+	for _, r := range c.adjIn[i] {
+		if r != nil {
+			cands = append(cands, *r)
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool { return prefer(&cands[x], &cands[y]) })
+	return cands
+}
+
+// Routes copies the current best route of every AS holding one.
+func (c *Computation) Routes() map[asn.ASN]Route {
+	out := make(map[asn.ASN]Route, len(c.best))
+	for i, r := range c.best {
+		if r != nil {
+			out[c.e.asns[i]] = *r
+		}
+	}
+	return out
+}
+
+// originRoute materializes a's own origin route, or nil.
+func (c *Computation) originRoute(a asn.ASN) *Route {
+	ann, ok := c.anns[a]
+	if !ok {
+		return nil
+	}
+	base := ann.basePath()
+	return &Route{
+		Prefix:    c.prefix,
+		Path:      base,
+		NextHop:   0,
+		FromRel:   topology.RelNone,
+		OrgRel:    topology.RelNone,
+		LocalPref: 1 << 30, // own routes always win
+		Age:       0,
+		pathLen:   base.Len(),
+	}
+}
+
+// prefer reports whether a beats b in the BGP decision process.
+// Candidates carry precomputed path lengths and IGP costs.
+func prefer(a, b *Route) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if a.pathLen != b.pathLen {
+		return a.pathLen < b.pathLen
+	}
+	if a.igpCost != b.igpCost {
+		return a.igpCost < b.igpCost
+	}
+	if a.Age != b.Age {
+		return a.Age < b.Age
+	}
+	return a.NextHop < b.NextHop
+}
+
+// decisiveStep reports which decision criterion separated best from the
+// runner-up.
+func decisiveStep(best, second *Route) DecisionStep {
+	switch {
+	case best.LocalPref != second.LocalPref:
+		return ByLocalPref
+	case best.pathLen != second.pathLen:
+		return ByPathLen
+	case best.igpCost != second.igpCost:
+		return ByIGPCost
+	case best.Age != second.Age:
+		return ByAge
+	default:
+		return ByRouterID
+	}
+}
+
+// reselect fully rescans AS i's candidates and updates the best route.
+// It reports whether the best route changed.
+func (c *Computation) reselect(i int32) bool {
+	nb, _ := c.bestTwo(i)
+	old := c.best[i]
+	c.best[i] = nb
+	if nb == nil {
+		return old != nil
+	}
+	return old == nil || !sameRoute(*old, *nb) || old.Age != nb.Age
+}
+
+// deliver installs an advertisement (or withdrawal, adv==nil) from
+// neighbor slot s into AS i's adj-RIB-in and incrementally updates i's
+// best route. It reports whether i's best changed.
+func (c *Computation) deliver(i int32, s int32, adv *Route) bool {
+	old := c.adjIn[i]
+	if old == nil {
+		c.adjIn[i] = make([]*Route, len(c.e.nbrs[i]))
+	}
+	prev := c.adjIn[i][s]
+	if prev == nil && adv == nil {
+		return false
+	}
+	if prev != nil && adv != nil && sameRoute(*prev, *adv) {
+		return false // implicit refresh: keep the older installation
+	}
+	c.adjIn[i][s] = adv
+	cur := c.best[i]
+	switch {
+	case cur == prev && prev != nil:
+		// The best route's source changed or withdrew: full rescan.
+		return c.reselect(i)
+	case adv != nil && (cur == nil || prefer(adv, cur)):
+		// Strictly better than the incumbent: install directly.
+		c.best[i] = adv
+		return true
+	default:
+		// A non-best candidate changed; the incumbent stands.
+		return false
+	}
+}
+
+// process recomputes what AS i advertises to each neighbor and delivers
+// the changes, enqueueing neighbors whose best routes moved.
+func (c *Computation) process(i int32) {
+	c.nProcessed++
+	a := c.e.asns[i]
+	forced := c.force[i]
+	c.force[i] = false
+	if forced {
+		c.reselect(i)
+	}
+	xAS := c.e.topo.AS(a)
+	best := c.best[i]
+	for s, n := range c.e.nbrs[i] {
+		adv := c.advertisement(xAS, best, n)
+		j, ok := c.idx(n.ASN)
+		if !ok {
+			continue
+		}
+		back := c.e.backSlot[i][s]
+		if adv != nil {
+			// Suppress no-op refreshes before stamping a fresh age.
+			if cur := c.adjInAt(j, back); cur != nil && sameRoute(*cur, *adv) {
+				continue
+			}
+			c.clock++
+			adv.Age = c.clock
+		}
+		if c.deliver(j, back, adv) {
+			c.nChanges++
+			c.enqueue(j)
+		}
+	}
+}
+
+func (c *Computation) adjInAt(i, s int32) *Route {
+	if c.adjIn[i] == nil {
+		return nil
+	}
+	return c.adjIn[i][s]
+}
+
+// advertisement builds the route neighbor n would install upon hearing
+// x's best route, or nil when export policy, origin policy, loop
+// prevention, or AS_SET filtering suppresses it.
+func (c *Computation) advertisement(xAS *topology.AS, best *Route, n topology.Neighbor) *Route {
+	if best == nil {
+		return nil
+	}
+	x := xAS.ASN
+	city := c.e.linkCity(n.Link, c.prefix)
+	relOfN := effectiveRel(n.Link, x, n.ASN, c.prefix, city)
+	if !exports(best.OrgRel, relOfN) {
+		return nil
+	}
+	if best.IsOrigin() {
+		ann := c.anns[x]
+		if !ann.permitsNeighbor(n.ASN) || !xAS.MayAnnounce(c.prefix, n.ASN) {
+			return nil
+		}
+	}
+	advPath := best.Path
+	if !best.IsOrigin() {
+		advPath = advPath.Prepend(x)
+	}
+	nAS := c.e.topo.AS(n.ASN)
+	if advPath.Contains(n.ASN) && !nAS.NoLoopPrevention {
+		return nil
+	}
+	if advPath.HasSet() && nAS.FiltersASSets {
+		return nil
+	}
+	relOfX := effectiveRel(n.Link, n.ASN, x, c.prefix, city)
+	// The route's organizational class survives sibling hops; on-net
+	// (sibling-learned) routes get the organization's internal-first
+	// preference bump.
+	orgRel := relOfX
+	lp := 0
+	if relOfX == topology.RelSibling {
+		orgRel = best.OrgRel
+		lp = c.e.siblingLocalPref(nAS, orgRel, advPath, c.prefix)
+	} else {
+		lp = c.e.localPref(nAS, orgRel, advPath, c.prefix)
+	}
+	return &Route{
+		Prefix:     c.prefix,
+		Path:       advPath,
+		NextHop:    x,
+		FromRel:    relOfX,
+		OrgRel:     orgRel,
+		LocalPref:  lp,
+		EgressCity: city,
+		pathLen:    advPath.Len(),
+		igpCost:    c.e.igpCost(n.ASN, x, city),
+	}
+}
+
+// sameRoute compares everything except Age.
+func sameRoute(a, b Route) bool {
+	return a.NextHop == b.NextHop &&
+		a.LocalPref == b.LocalPref &&
+		a.FromRel == b.FromRel &&
+		a.OrgRel == b.OrgRel &&
+		a.EgressCity == b.EgressCity &&
+		a.Path.Equal(b.Path)
+}
+
+// DebugStats reports internal convergence counters (process calls and
+// best-route changes) for performance investigation.
+func (c *Computation) DebugStats() string {
+	return fmt.Sprintf("processed=%d changes=%d clock=%d", c.nProcessed, c.nChanges, c.clock)
+}

@@ -1,0 +1,203 @@
+package bgp
+
+import (
+	"routelab/internal/asn"
+	"routelab/internal/geo"
+	"routelab/internal/topology"
+)
+
+// Local-preference bands. Relationship classes are separated by 100 so a
+// single policy bonus can deliberately jump a route across one class
+// boundary — which is precisely how ground-truth Gao–Rexford violations
+// are born.
+const (
+	lpCustomer = 300
+	lpPeer     = 200
+	lpProvider = 100
+
+	// lpDomesticBonus lifts a domestic route one class above its station
+	// (a domestic provider route beats an international peer route).
+	lpDomesticBonus = 150
+	// lpResearchBonus lifts any route traversing an R&E backbone to the
+	// top for ASes with ResearchPreference (universities prefer the
+	// research path no matter what it costs).
+	lpResearchBonus = 400
+	// lpContentTEBonus lifts PEER routes toward content destinations
+	// one class for ASes running content traffic engineering.
+	lpContentTEBonus = 150
+	// lpSiblingBonus keeps traffic on-net: routes learned from a
+	// sibling are preferred one class above their organizational
+	// station (mergers route internally first — the §4.2 behavior the
+	// Sibs refinement explains).
+	lpSiblingBonus = 120
+)
+
+// baseLocalPref maps a route's organizational class to its band.
+// RelNone (an origin route relayed by a sibling) prices like a customer
+// route.
+func baseLocalPref(orgRel topology.Rel) int {
+	switch orgRel {
+	case topology.RelCustomer, topology.RelSibling, topology.RelNone:
+		return lpCustomer
+	case topology.RelPeer:
+		return lpPeer
+	default:
+		return lpProvider
+	}
+}
+
+// effectiveRel resolves the relationship of neighbor `other` from `self`
+// for a specific prefix, applying hybrid (per-city) and partial-transit
+// overrides. city is the interconnection city the prefix's traffic uses
+// on this link.
+func effectiveRel(l *topology.Link, self, other asn.ASN, prefix asn.Prefix, city geo.CityID) topology.Rel {
+	rel := l.RoleOf(self, other)
+	if hr, ok := l.HybridRoles[city]; ok {
+		// HybridRoles stores Hi's role from Lo's perspective at the city.
+		if self == l.Lo {
+			rel = hr
+		} else {
+			rel = hr.Invert()
+		}
+	}
+	if l.PartialTransitFor != nil && l.PartialTransitFor[prefix] {
+		// Hi provides Lo transit for this prefix.
+		if self == l.Lo {
+			rel = topology.RelProvider
+		} else {
+			rel = topology.RelCustomer
+		}
+	}
+	return rel
+}
+
+// linkCity deterministically picks the interconnection city a prefix's
+// traffic uses on a link. Candidates on the destination origin's home
+// continent are preferred (operators interconnect near where the
+// traffic is going — the geographic flavor of hot-potato routing);
+// within the candidate set, a per-(link, prefix) hash spreads prefixes
+// across interconnection points, which is what lets hybrid
+// relationships bite for some destinations and not others.
+func (e *Engine) linkCity(l *topology.Link, prefix asn.Prefix) geo.CityID {
+	if len(l.Cities) == 1 {
+		return l.Cities[0]
+	}
+	cands := l.Cities
+	cont := geo.ContinentNone
+	if city := e.topo.CityOfPrefix(prefix); city != 0 {
+		// Regional serving prefix: interconnect near the servers.
+		cont = e.topo.World.ContinentOf(city)
+	} else if origin := e.topo.OriginOf(prefix); !origin.IsZero() {
+		if oc := e.topo.CountryOf(origin); oc != "" {
+			cont = e.topo.World.Country(oc).Continent
+		}
+	}
+	if cont != geo.ContinentNone {
+		var near []geo.CityID
+		for _, c := range l.Cities {
+			if e.topo.World.ContinentOf(c) == cont {
+				near = append(near, c)
+			}
+		}
+		if len(near) > 0 {
+			cands = near
+		}
+	}
+	h := e.hash(uint64(l.Lo), uint64(l.Hi), uint64(prefix.Addr), uint64(prefix.Len))
+	return cands[h%uint64(len(cands))]
+}
+
+// localPref computes the local preference `self` assigns to a route of
+// organizational class orgRel.
+func (e *Engine) localPref(self *topology.AS, orgRel topology.Rel, path asn.Path, prefix asn.Prefix) int {
+	lp := baseLocalPref(orgRel)
+	if self.DomesticBias && e.isDomesticRoute(self, path) {
+		lp += lpDomesticBonus
+	}
+	if self.ResearchPreference && e.traversesResearch(path) {
+		lp += lpResearchBonus
+	}
+	if self.ContentPeerTE && orgRel == topology.RelPeer && e.isContentPrefix(prefix) {
+		lp += lpContentTEBonus
+	}
+	return lp
+}
+
+// siblingLocalPref prices a sibling-learned route: its organizational
+// band plus the on-net bonus.
+func (e *Engine) siblingLocalPref(self *topology.AS, orgRel topology.Rel, path asn.Path, prefix asn.Prefix) int {
+	return e.localPref(self, orgRel, path, prefix) + lpSiblingBonus
+}
+
+// isContentPrefix reports whether the prefix serves content traffic —
+// a content network's own space or a hosted cache prefix (operators
+// know their heavy destinations).
+func (e *Engine) isContentPrefix(prefix asn.Prefix) bool {
+	return e.topo.IsContentPrefix(prefix)
+}
+
+// isDomesticRoute reports whether the entire AS path (including origin)
+// consists of ASes homed in self's country — the §6 "domestic path"
+// condition, evaluated on ground truth.
+func (e *Engine) isDomesticRoute(self *topology.AS, path asn.Path) bool {
+	seq := path.Sequence()
+	if len(seq) == 0 {
+		return false
+	}
+	for _, a := range seq {
+		if e.topo.CountryOf(a) != self.HomeCountry {
+			return false
+		}
+	}
+	return true
+}
+
+// traversesResearch reports whether the path crosses an R&E backbone.
+func (e *Engine) traversesResearch(path asn.Path) bool {
+	for _, a := range path.Sequence() {
+		if x := e.topo.AS(a); x != nil && x.Class == topology.Research {
+			return true
+		}
+	}
+	return false
+}
+
+// exports reports whether a route of organizational class orgRel
+// (RelNone when originated) may be exported to a neighbor whose
+// effective relationship is toRel. The Gao–Rexford export rule: own and
+// customer routes go to everyone; peer and provider routes go only to
+// customers. Siblings always receive everything (the organization
+// shares its full table internally), but what THEY may re-export is
+// still governed by the route's organizational class.
+func exports(orgRel, toRel topology.Rel) bool {
+	if toRel == topology.RelSibling {
+		return true
+	}
+	switch orgRel {
+	case topology.RelNone, topology.RelCustomer, topology.RelSibling:
+		return true
+	default:
+		return toRel == topology.RelCustomer
+	}
+}
+
+// igpCost is the deterministic pseudo-random intradomain cost from the
+// AS's "default ingress" to the egress toward a neighbor. It is the
+// ground truth behind the "intradomain tie-breaker" row of Table 2.
+func (e *Engine) igpCost(self, nextHop asn.ASN, egress geo.CityID) int {
+	return int(e.hash(uint64(self), uint64(nextHop), uint64(egress)) % 1000)
+}
+
+// hash is a seeded 64-bit mix (splitmix64 over the running state) used
+// for all deterministic-but-arbitrary choices.
+func (e *Engine) hash(vals ...uint64) uint64 {
+	x := uint64(e.seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range vals {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		x = z ^ (z >> 31)
+	}
+	return x
+}

@@ -1,0 +1,129 @@
+package bgp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"routelab/internal/asn"
+)
+
+// RIB holds converged best routes for a set of prefixes — the global
+// routing state the data plane forwards on. Immutable once computed;
+// concurrent readers are safe.
+type RIB struct {
+	routes map[asn.Prefix]map[asn.ASN]Route
+	// byLen groups the covered prefixes by descending mask length for
+	// longest-prefix matching.
+	byLen []asn.Prefix
+	// lens are the distinct mask lengths present, descending, so Lookup
+	// probes one map key per length instead of scanning every prefix.
+	lens []uint8
+}
+
+// ComputePrefix converges the default announcement of a single prefix
+// (its topology origin announcing to everyone) and returns every AS's
+// best route.
+func (e *Engine) ComputePrefix(p asn.Prefix) map[asn.ASN]Route {
+	origin := e.topo.OriginOf(p)
+	if origin.IsZero() {
+		return nil
+	}
+	c := e.NewComputation(p)
+	c.Announce(Announcement{Origin: origin})
+	c.Converge()
+	return c.Routes()
+}
+
+// ComputeRIB converges every given prefix (in parallel across prefixes;
+// each per-prefix computation is single-threaded and deterministic) and
+// assembles the global RIB. workers <= 0 selects GOMAXPROCS.
+func (e *Engine) ComputeRIB(prefixes []asn.Prefix, workers int) *RIB {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rib := &RIB{routes: make(map[asn.Prefix]map[asn.ASN]Route, len(prefixes))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan asn.Prefix)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				routes := e.ComputePrefix(p)
+				mu.Lock()
+				rib.routes[p] = routes
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, p := range prefixes {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	rib.indexPrefixes()
+	return rib
+}
+
+// ComputeFullRIB converges every prefix the topology originates.
+func (e *Engine) ComputeFullRIB(workers int) *RIB {
+	return e.ComputeRIB(e.topo.OriginatedPrefixes(), workers)
+}
+
+func (r *RIB) indexPrefixes() {
+	r.byLen = r.byLen[:0]
+	for p := range r.routes {
+		r.byLen = append(r.byLen, p)
+	}
+	sort.Slice(r.byLen, func(i, j int) bool {
+		if r.byLen[i].Len != r.byLen[j].Len {
+			return r.byLen[i].Len > r.byLen[j].Len
+		}
+		return r.byLen[i].Addr < r.byLen[j].Addr
+	})
+	r.lens = r.lens[:0]
+	for _, p := range r.byLen {
+		if len(r.lens) == 0 || r.lens[len(r.lens)-1] != p.Len {
+			r.lens = append(r.lens, p.Len)
+		}
+	}
+}
+
+// Prefixes returns the covered prefixes, longest mask first.
+func (r *RIB) Prefixes() []asn.Prefix { return r.byLen }
+
+// Route returns a's best route for an exact prefix.
+func (r *RIB) Route(a asn.ASN, p asn.Prefix) (Route, bool) {
+	rt, ok := r.routes[p][a]
+	return rt, ok
+}
+
+// RoutesFor returns the whole best-route map of a prefix (shared; do not
+// modify).
+func (r *RIB) RoutesFor(p asn.Prefix) map[asn.ASN]Route { return r.routes[p] }
+
+// Lookup longest-prefix-matches ip in a's routes: one map probe per
+// distinct mask length, longest first.
+func (r *RIB) Lookup(a asn.ASN, ip asn.Addr) (Route, bool) {
+	for _, l := range r.lens {
+		if rts, ok := r.routes[asn.NewPrefix(ip, l)]; ok {
+			if rt, ok := rts[a]; ok {
+				return rt, true
+			}
+		}
+	}
+	return Route{}, false
+}
+
+// ASPath returns the AS-level forwarding path from a toward the exact
+// prefix p, starting with a and ending at the origin, or nil when a has
+// no route.
+func (r *RIB) ASPath(a asn.ASN, p asn.Prefix) []asn.ASN {
+	rt, ok := r.Route(a, p)
+	if !ok {
+		return nil
+	}
+	return rt.ASPathFrom(a)
+}

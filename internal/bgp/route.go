@@ -1,0 +1,144 @@
+// Package bgp implements routelab's ground-truth routing engine: a
+// deterministic per-prefix route-vector computation over the topology,
+// with the full BGP decision process (LocalPref from business
+// relationships and policy overrides, AS-path length, intradomain-cost
+// tie-breaking, route age, router ID), RFC 4271 loop prevention (which is
+// what makes BGP poisoning work), and incremental reconvergence so the
+// PEERING experiments can change announcements mid-flight.
+package bgp
+
+import (
+	"fmt"
+
+	"routelab/internal/asn"
+	"routelab/internal/geo"
+	"routelab/internal/topology"
+)
+
+// Route is one installed best route at an AS.
+type Route struct {
+	Prefix asn.Prefix
+	// Path is the AS path as received from the neighbor, i.e. it does
+	// NOT include the owning AS itself. For an origin route it is just
+	// the announcement's base path.
+	Path asn.Path
+	// NextHop is the neighbor the route was learned from; 0 for routes
+	// the AS originates itself.
+	NextHop asn.ASN
+	// FromRel is the EFFECTIVE relationship of NextHop for this prefix
+	// (after hybrid and partial-transit overrides). RelNone for origin
+	// routes.
+	FromRel topology.Rel
+	// OrgRel is the route's business class for the owning ORGANIZATION:
+	// equal to FromRel unless the route was learned from a sibling, in
+	// which case the sibling's own class is inherited. Local preference
+	// and export policy key off OrgRel, so multi-AS organizations
+	// behave like one AS instead of relaying provider routes org-wide
+	// at customer preference.
+	OrgRel topology.Rel
+	// LocalPref is the computed local preference.
+	LocalPref int
+	// EgressCity is the interconnection city where the owning AS hands
+	// traffic to NextHop (0 for origin routes). The data plane and the
+	// hybrid-relationship logic both key off it.
+	EgressCity geo.CityID
+	// Age is the engine's event-clock value at which this exact
+	// advertisement was first installed; lower means older. It feeds the
+	// "oldest route" tie-breaker the magnet experiment exposes.
+	Age int
+
+	// pathLen and igpCost cache the decision-process inputs so sorting
+	// candidates does not recompute them per comparison.
+	pathLen int
+	igpCost int
+}
+
+// IsOrigin reports whether the owning AS originates the route.
+func (r Route) IsOrigin() bool { return r.NextHop == 0 }
+
+// ASPathFrom returns the full AS-level forwarding path starting at owner:
+// owner followed by the path's sequence ASes.
+func (r Route) ASPathFrom(owner asn.ASN) []asn.ASN {
+	return append([]asn.ASN{owner}, r.Path.Sequence()...)
+}
+
+func (r Route) String() string {
+	return fmt.Sprintf("%s via %s [%s lp=%d age=%d]", r.Prefix, r.NextHop, r.Path, r.LocalPref, r.Age)
+}
+
+// DecisionStep names the step of the BGP decision process that selected a
+// route over the runner-up — the ground truth the magnet experiment of
+// Table 2 tries to reverse-engineer from the outside.
+type DecisionStep uint8
+
+const (
+	// OnlyRoute: there was no alternative.
+	OnlyRoute DecisionStep = iota
+	// ByLocalPref: higher local preference (relationship) won.
+	ByLocalPref
+	// ByPathLen: shorter AS path won.
+	ByPathLen
+	// ByIGPCost: lower intradomain cost to the egress won (hot potato).
+	ByIGPCost
+	// ByAge: the older route won.
+	ByAge
+	// ByRouterID: the lowest-router-ID tie-breaker won.
+	ByRouterID
+)
+
+// String names the decision step as Table 2 does.
+func (d DecisionStep) String() string {
+	switch d {
+	case OnlyRoute:
+		return "only route"
+	case ByLocalPref:
+		return "best relationship"
+	case ByPathLen:
+		return "shorter path"
+	case ByIGPCost:
+		return "intradomain tie-breaker"
+	case ByAge:
+		return "oldest route"
+	case ByRouterID:
+		return "router id"
+	default:
+		return "unknown"
+	}
+}
+
+// Announcement injects a prefix at an origin AS.
+type Announcement struct {
+	Prefix asn.Prefix
+	// Origin is the AS issuing the announcement.
+	Origin asn.ASN
+	// Poisoned lists ASes to wrap in an AS_SET sandwiched by the origin
+	// (the PEERING poisoning idiom: ORIGIN {poisoned} ORIGIN). Nil for
+	// plain announcements.
+	Poisoned []asn.ASN
+	// Via restricts which neighbors the origin announces to (PEERING's
+	// per-mux announcements). Nil means all neighbors, still subject to
+	// the origin AS's own SelectiveExport policy.
+	Via []asn.ASN
+}
+
+// basePath builds the path as it leaves the origin.
+func (a Announcement) basePath() asn.Path {
+	p := asn.PathFromASNs(a.Origin)
+	if len(a.Poisoned) > 0 {
+		p = p.PrependSet(a.Poisoned).Prepend(a.Origin)
+	}
+	return p
+}
+
+// permitsNeighbor applies the Via restriction.
+func (a Announcement) permitsNeighbor(n asn.ASN) bool {
+	if a.Via == nil {
+		return true
+	}
+	for _, x := range a.Via {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

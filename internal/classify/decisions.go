@@ -1,0 +1,116 @@
+package classify
+
+import (
+	"routelab/internal/asn"
+	"routelab/internal/geo"
+	"routelab/internal/geodb"
+	"routelab/internal/ipasmap"
+	"routelab/internal/traceroute"
+)
+
+// Measurement is one converted traceroute with its extracted decisions
+// and geographic annotations.
+type Measurement struct {
+	TraceID int
+	SrcAS   asn.ASN
+	ASPath  []asn.ASN
+	Prefix  asn.Prefix
+	DstAS   asn.ASN
+	// HopCities are the geolocated cities of the responsive hops (only
+	// located ones).
+	HopCities []geo.CityID
+	Decisions []Decision
+}
+
+// Continental reports whether every located hop stays on one continent,
+// and which. False when hops span continents or nothing was locatable.
+func (m *Measurement) Continental(w *geo.World) (geo.Continent, bool) {
+	cont := geo.ContinentNone
+	for _, c := range m.HopCities {
+		cc := w.ContinentOf(c)
+		if cc == geo.ContinentNone {
+			continue
+		}
+		if cont == geo.ContinentNone {
+			cont = cc
+		} else if cont != cc {
+			return geo.ContinentNone, false
+		}
+	}
+	return cont, cont != geo.ContinentNone
+}
+
+// SingleCountry reports whether every located hop stays in one country.
+func (m *Measurement) SingleCountry(w *geo.World) (geo.CountryCode, bool) {
+	country := geo.CountryCode("")
+	for _, c := range m.HopCities {
+		cc := w.CountryOf(c)
+		if cc == "" {
+			continue
+		}
+		if country == "" {
+			country = cc
+		} else if country != cc {
+			return "", false
+		}
+	}
+	return country, country != ""
+}
+
+// Extract converts a raw traceroute into a Measurement: AS path via the
+// mapper, per-hop geolocation via the geo database, and one Decision per
+// on-path AS (§3.1: "since interdomain routing is destination-based, we
+// can observe routing decisions for all ASes along the path").
+// ok=false when the trace did not yield a usable AS path.
+func Extract(id int, tr traceroute.Trace, mapper *ipasmap.Mapper, gdb *geodb.DB) (Measurement, bool) {
+	path, usable := mapper.ConvertTrace(tr)
+	if !usable || len(path) < 2 {
+		return Measurement{}, false
+	}
+	m := Measurement{
+		TraceID: id,
+		SrcAS:   tr.SrcAS,
+		ASPath:  path,
+		DstAS:   path[len(path)-1],
+	}
+	// The destination prefix is the announced prefix covering the target.
+	m.Prefix = mapper.PrefixOf(tr.Dst)
+	if m.Prefix.IsZero() {
+		return Measurement{}, false
+	}
+	// Geolocate hops and record AS boundaries for hybrid lookups.
+	boundary := make(map[[2]asn.ASN]geo.CityID)
+	prevAS := tr.SrcAS
+	for _, h := range tr.Hops {
+		if h.IP == 0 {
+			continue
+		}
+		city, located := gdb.Locate(h.IP)
+		if located {
+			m.HopCities = append(m.HopCities, city)
+		}
+		hopAS := mapper.ASOf(h.IP)
+		if hopAS.IsZero() {
+			continue
+		}
+		if hopAS != prevAS && located {
+			if _, dup := boundary[[2]asn.ASN{prevAS, hopAS}]; !dup {
+				boundary[[2]asn.ASN{prevAS, hopAS}] = city
+			}
+		}
+		prevAS = hopAS
+	}
+	for i := 0; i+1 < len(path); i++ {
+		m.Decisions = append(m.Decisions, Decision{
+			At:           path[i],
+			Via:          path[i+1],
+			Prefix:       m.Prefix,
+			DstAS:        m.DstAS,
+			RestLen:      len(path) - 1 - i,
+			BoundaryCity: boundary[[2]asn.ASN{path[i], path[i+1]}],
+			SrcAS:        tr.SrcAS,
+			TraceID:      id,
+		})
+	}
+	return m, true
+}

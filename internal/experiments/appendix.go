@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/classify"
+	"routelab/internal/inference"
+	"routelab/internal/predict"
+	"routelab/internal/relgraph"
+	"routelab/internal/report"
+	"routelab/internal/scenario"
+	"routelab/internal/stats"
+	"routelab/internal/topology"
+)
+
+// InferenceAccuracy scores the inferred relationship database against
+// ground truth — the answer key the paper never had. It quantifies the
+// error budget feeding every classification experiment.
+func InferenceAccuracy(w io.Writer, s *scenario.Scenario) {
+	truth := relgraph.FromTopology(s.Topo)
+	acc := inference.MeasureAccuracy(s.Context.Graph, truth)
+	t := report.NewTable("Appendix: inferred topology vs ground truth", "Metric", "Value")
+	t.Row("Ground-truth links visible to monitors", acc.Links)
+	t.Row("Labels correct", acc.Correct)
+	t.Row("Label accuracy %", stats.Pct(acc.Correct, acc.Links))
+	t.Row("Links invisible to monitors", acc.MissingFromInferred)
+	t.Row("Stale links (retired but still inferred)", staleCount(s))
+	t.Row("Phantom links", acc.ExtraInInferred)
+
+	// Per-truth-label confusion counts.
+	confusion := map[[2]topology.Rel]int{}
+	for _, e := range truth.Edges() {
+		if !s.Context.Graph.HasEdge(e.A, e.B) {
+			continue
+		}
+		confusion[[2]topology.Rel{e.Role, s.Context.Graph.Rel(e.A, e.B)}]++
+	}
+	type row struct {
+		truth, inf topology.Rel
+		n          int
+	}
+	var rows []row
+	for k, n := range confusion {
+		if k[0] != k[1] {
+			rows = append(rows, row{k[0], k[1], n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	for i, r := range rows {
+		if i >= 5 {
+			break
+		}
+		t.Note("top confusion %d: truth=%s inferred=%s (%d links)", i+1, r.truth, r.inf, r.n)
+	}
+	t.Render(w)
+}
+
+// staleCount counts retired ground-truth links the aggregate still
+// believes in — the AS3549–Netflix effect.
+func staleCount(s *scenario.Scenario) int {
+	n := 0
+	for _, l := range s.Topo.RetiredLinks {
+		if s.Context.Graph.HasEdge(l.Lo, l.Hi) {
+			n++
+		}
+	}
+	return n
+}
+
+// Prediction evaluates the Gao–Rexford model as a PATH PREDICTOR over
+// the measured campaign — the downstream use case (simulation, iPlane-
+// style prediction) whose fidelity the paper's whole investigation is
+// about. The exact-match rate is the headline "how wrong are our
+// simulators" number.
+func Prediction(w io.Writer, s *scenario.Scenario) {
+	p := predict.New(s.Context.Graph)
+	paths := make([][]asn.ASN, 0, len(s.Measurements))
+	for i := range s.Measurements {
+		paths = append(paths, s.Measurements[i].ASPath)
+	}
+	sum := p.Evaluate(paths)
+	t := report.NewTable("Extension: the model as a path predictor", "Metric", "Value")
+	t.Row("Measured paths", sum.Paths)
+	t.Row("Paths the model could predict", sum.Predicted)
+	t.Row("Exact-path matches %", stats.Pct(sum.Exact, sum.Predicted))
+	t.Row("Correct length %", stats.Pct(sum.SameLength, sum.Predicted))
+	t.Row("Correct first hop %", stats.Pct(sum.FirstHopCorrect, sum.Predicted))
+	t.Note("the gap between first-hop and exact accuracy is the paper's point: models rank neighbors acceptably but mispredict full paths")
+	t.Render(w)
+}
+
+// CaseStudies hunts the live scenario for concrete instances of the
+// §4.4 violation stories: an AS whose discovered preference order
+// breaks both model properties, narrated with its relationships.
+func CaseStudies(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+	runs := s.RunAlternatesCampaign(rng)
+	fmt.Fprintln(w, "Section 4.4 case studies: preference orders violating both model properties")
+	shown := 0
+	for _, run := range runs {
+		if shown >= 3 {
+			break
+		}
+		if s.Context.ClassifyAlternates(run) != classify.AltNeither || len(run.Steps) < 2 {
+			continue
+		}
+		shown++
+		x := s.Topo.AS(run.Target)
+		fmt.Fprintf(w, "\ncase %d: %s (%s, %s)\n", shown, run.Target, x.Class, x.HomeCountry)
+		for i, st := range run.Steps {
+			rel := s.Context.Graph.Rel(run.Target, st.Route.NextHop)
+			truRel := s.Topo.Rel(run.Target, st.Route.NextHop)
+			nh := s.Topo.AS(st.Route.NextHop)
+			kind := ""
+			if nh != nil && nh.Class == topology.Research {
+				kind = " [research backbone]"
+			}
+			fmt.Fprintf(w, "  choice #%d: via %s%s, inferred %s (truth %s), path [%s]\n",
+				i+1, st.Route.NextHop, kind, rel, truRel, st.Route.Path)
+		}
+		// The paper's telltale: a later route that is a SUFFIX of the
+		// first (the unnecessary-detour pattern).
+		first := run.Steps[0].Route.Path.Sequence()
+		for _, st := range run.Steps[1:] {
+			seq := st.Route.Path.Sequence()
+			if isSuffix(seq, first) {
+				fmt.Fprintf(w, "  note: the fallback route is a suffix of the first — the first included an unnecessary detour\n")
+				break
+			}
+		}
+		if x.ResearchPreference {
+			fmt.Fprintf(w, "  ground truth: this AS prefers research paths regardless of business class\n")
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintln(w, "  (none found at this seed — paper found 3 among 360 targets)")
+	}
+	fmt.Fprintln(w)
+}
+
+// isSuffix reports whether needle is a suffix of hay.
+func isSuffix(needle, hay []asn.ASN) bool {
+	if len(needle) == 0 || len(needle) > len(hay) {
+		return false
+	}
+	off := len(hay) - len(needle)
+	for i := range needle {
+		if hay[off+i] != needle[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,328 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver consumes a shared scenario.Scenario
+// and renders the same rows/series the paper reports, so a full run can
+// be compared side by side with the published numbers (EXPERIMENTS.md
+// records that comparison).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/atlas"
+	"routelab/internal/classify"
+	"routelab/internal/geo"
+	"routelab/internal/report"
+	"routelab/internal/scenario"
+	"routelab/internal/stats"
+	"routelab/internal/topology"
+)
+
+// Table1 reports the distribution of selected probes by AS class
+// (paper §3.1, Table 1), using the degree-based categorization.
+func Table1(w io.Writer, s *scenario.Scenario) {
+	type agg struct {
+		probes    int
+		ases      map[asn.ASN]bool
+		countries map[geo.CountryCode]bool
+	}
+	perClass := map[topology.Class]*agg{}
+	for _, p := range s.Probes {
+		cls := atlas.ClassifyByDegree(s.Topo, p.AS)
+		a := perClass[cls]
+		if a == nil {
+			a = &agg{ases: map[asn.ASN]bool{}, countries: map[geo.CountryCode]bool{}}
+			perClass[cls] = a
+		}
+		a.probes++
+		a.ases[p.AS] = true
+		a.countries[s.Topo.World.CountryOf(p.City)] = true
+	}
+	t := report.NewTable("Table 1: distribution of selected probes",
+		"AS type", "Probes", "Distinct ASes", "Distinct Countries")
+	totalASes := map[asn.ASN]bool{}
+	totalProbes := 0
+	for _, cls := range []topology.Class{topology.Stub, topology.SmallISP, topology.LargeISP, topology.Tier1} {
+		a := perClass[cls]
+		if a == nil {
+			a = &agg{ases: map[asn.ASN]bool{}, countries: map[geo.CountryCode]bool{}}
+		}
+		t.Row(cls.String(), a.probes, len(a.ases), len(a.countries))
+		totalProbes += a.probes
+		for x := range a.ases {
+			totalASes[x] = true
+		}
+	}
+	t.Note("%d probes total in %d ASes (paper: 1,998 probes, 633 ASes)",
+		totalProbes, len(totalASes))
+	t.Render(w)
+}
+
+// Figure1 reports the decision breakdown across the refinement columns
+// (paper §4, Figure 1).
+func Figure1(w io.Writer, s *scenario.Scenario) {
+	ds := s.Decisions()
+	bars := report.NewStackedBars(
+		fmt.Sprintf("Figure 1: routing-decision breakdown (%d decisions from %d traceroutes, %d destination ASes)",
+			len(ds), len(s.Measurements), s.DestinationASes()),
+		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
+	t := report.NewTable("Figure 1 (numeric)", "Refinement",
+		"Best/Short%", "NonBest/Short%", "Best/Long%", "NonBest/Long%")
+	for _, ref := range classify.Refinements {
+		bd := s.Context.Breakdown(ds, ref)
+		total := 0
+		for _, n := range bd {
+			total += n
+		}
+		shares := make([]float64, 0, 4)
+		for _, cat := range classify.Categories {
+			shares = append(shares, stats.Pct(bd[cat], total))
+		}
+		bars.Column(ref.String(), shares...)
+		t.Row(ref.String(), shares[0], shares[1], shares[2], shares[3])
+	}
+	t.Note("paper: Simple Best/Short 64.7%%, NonBest/Long 8.3%%; All-1 85.7%%, All-2 75.7%%")
+	bars.Render(w)
+	t.Render(w)
+}
+
+// Table2 reports the magnet experiment's decision-step breakdown
+// (paper §3.2/§4.4, Table 2) for the feed and traceroute channels.
+func Table2(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+	mc := s.RunMagnetCampaign(rng)
+	feed := s.Context.MagnetBreakdown(mc.FeedDecisions)
+	trace := s.Context.MagnetBreakdown(mc.TraceDecisions)
+	feedTotal, traceTotal := 0, 0
+	for _, n := range feed {
+		feedTotal += n
+	}
+	for _, n := range trace {
+		traceTotal += n
+	}
+	t := report.NewTable("Table 2: BGP decisions after anycasting the magnet prefix",
+		"BGP decision", "Feeds", "Feeds%", "Traceroutes", "Traceroutes%")
+	for _, c := range classify.MagnetCauses {
+		t.Row(c.String(), feed[c], stats.Pct(feed[c], feedTotal),
+			trace[c], stats.Pct(trace[c], traceTotal))
+	}
+	t.Row("Total", feedTotal, 100.0, traceTotal, 100.0)
+	t.Note("paper (feeds): best 46.0%%, shorter 16.0%%, intradomain 16.4%%, oldest 2.5%%, violation 18.9%%")
+	t.Note("paper (traceroutes): best 42.4%%, shorter 29.4%%, intradomain 15.6%%, oldest 1.6%%, violation 10.8%%")
+	t.Render(w)
+}
+
+// Figure2 reports the violation skew across source and destination ASes
+// (paper §5, Figure 2).
+func Figure2(w io.Writer, s *scenario.Scenario) {
+	ds := s.Decisions()
+	_ = ds
+	for _, byDst := range []bool{false, true} {
+		kind := "source"
+		if byDst {
+			kind = "destination"
+		}
+		sk := s.Context.ViolationSkew(s.Measurements, classify.Simple, byDst)
+		counts := make([]int, len(sk))
+		for i, p := range sk {
+			counts[i] = p.Count
+		}
+		cdf := stats.CDF(counts)
+		report.Series(w, fmt.Sprintf("Figure 2 CDF of violations across %s ASes (ranked)", kind),
+			stats.Downsample(cdf, 12))
+		t := report.NewTable(fmt.Sprintf("Figure 2: top %s ASes by violation share", kind),
+			"Rank", "AS", "Class", "Violations", "Share%")
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		for i := 0; i < len(sk) && i < 5; i++ {
+			cls := "?"
+			if x := s.Topo.AS(sk[i].AS); x != nil {
+				cls = x.Class.String()
+				for name, a := range s.Topo.Names {
+					if a == sk[i].AS {
+						cls += " (" + name + ")"
+					}
+				}
+			}
+			t.Row(i+1, sk[i].AS.String(), cls, sk[i].Count, stats.Pct(sk[i].Count, total))
+		}
+		t.Note("gini=%.2f", stats.Gini(counts))
+		if byDst {
+			t.Note("paper: Akamai 21%%, Netflix 17%% of destination-side violations")
+		} else {
+			t.Note("paper: Cogent 4.1%%, Time Warner 2.2%% of source-side violations")
+		}
+		t.Render(w)
+	}
+}
+
+// Figure3 reports the per-continent decision breakdown (paper §6,
+// Figure 3).
+func Figure3(w io.Writer, s *scenario.Scenario) {
+	gb := s.Context.GeoClassify(s.Measurements, classify.Simple)
+	bars := report.NewStackedBars("Figure 3: decisions by traceroute geography",
+		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
+	emit := func(label string, counts map[classify.Category]int) {
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total == 0 {
+			return
+		}
+		shares := make([]float64, 0, 4)
+		for _, cat := range classify.Categories {
+			shares = append(shares, stats.Pct(counts[cat], total))
+		}
+		bars.Column(fmt.Sprintf("%s (n=%d)", label, total), shares...)
+	}
+	for _, cont := range []geo.Continent{geo.AF, geo.NA, geo.EU, geo.SA, geo.AS} {
+		emit(cont.String(), gb.PerContinent[cont])
+	}
+	emit("Cont", gb.Continental)
+	emit("NonCont", gb.Intercontinental)
+	contTotal, interTotal := 0, 0
+	for _, n := range gb.Continental {
+		contTotal += n
+	}
+	for _, n := range gb.Intercontinental {
+		interTotal += n
+	}
+	bars.Render(w)
+	fmt.Fprintf(w, "continental decisions: %.1f%% of dataset (paper: ~45%%)\n\n",
+		stats.Pct(contTotal, contTotal+interTotal))
+}
+
+// Table3 reports the share of NonBest/Short decisions explained by
+// domestic-path preference (paper §6, Table 3).
+func Table3(w io.Writer, s *scenario.Scenario) {
+	rows := s.Context.DomesticAnalysis(s.Measurements, classify.Simple)
+	t := report.NewTable("Table 3: NonBest/Short decisions explained by intra-country preference",
+		"Continent", "NonBest/Short", "Explained", "Explained%")
+	totalNBS, totalExp := 0, 0
+	for _, r := range rows {
+		t.Row(r.Continent.Name(), r.NonBestShort, r.Explained, stats.Pct(r.Explained, r.NonBestShort))
+		totalNBS += r.NonBestShort
+		totalExp += r.Explained
+	}
+	t.Row("All", totalNBS, totalExp, stats.Pct(totalExp, totalNBS))
+	t.Note("paper: >40%% of such decisions explained overall")
+	t.Render(w)
+}
+
+// Table4 reports the undersea-cable attribution (paper §6, Table 4).
+func Table4(w io.Writer, s *scenario.Scenario) {
+	st := s.Context.CableAnalysis(s.Measurements, classify.Simple)
+	t := report.NewTable("Table 4: decisions attributable to undersea-cable ASes",
+		"Violation type", "Decisions", "With cable", "Explained%")
+	for _, r := range st.Rows {
+		if !r.Category.IsViolation() {
+			continue
+		}
+		t.Row(r.Category.String(), r.Total, r.WithCable, stats.Pct(r.WithCable, r.Total))
+	}
+	t.Note("cable ASes on %.1f%% of paths (paper: <2%%)", stats.Pct(st.PathsWithCable, st.TotalPaths))
+	t.Note("%.1f%% of cable-involved decisions deviate (paper: 51.2%%)",
+		stats.Pct(st.CableDeviations, st.CableDecisions))
+	t.Note("paper: NonBest&Short 3.0%%, Best&Long 6.5%%, NonBest&Long 4.5%%")
+	t.Render(w)
+}
+
+// PSPValidation reports the §4.3 validation of prefix-specific-policy
+// inferences against operator looking glasses.
+func PSPValidation(w io.Writer, s *scenario.Scenario) {
+	cases := s.Context.CollectPSPCases(s.Measurements)
+	v := s.Context.ValidatePSP(cases, s.LookingGlasses)
+	t := report.NewTable("Section 4.3 validation: prefix-specific policies vs looking glasses",
+		"Metric", "Value")
+	t.Row("PSP cases (Criteria 1)", v.Cases)
+	t.Row("Masked-edge neighbors with a looking glass", v.NeighborsWithLG)
+	t.Row("Cases checked", v.Checked)
+	t.Row("Cases confirmed", v.Confirmed)
+	t.Row("Confirmed %", stats.Pct(v.Confirmed, v.Checked))
+	t.Note("paper: 63 cases, 149 neighbors, LGs in 28, Criteria 1 correct 78%% of checked cases")
+	t.Render(w)
+}
+
+// Alternates reports the §4.4 alternate-route discovery campaign.
+func Alternates(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+	runs := s.RunAlternatesCampaign(rng)
+	sum := s.Context.SummarizeAlternates(runs)
+	t := report.NewTable("Section 4.4: alternate-route preference orders",
+		"Verdict", "Targets", "Share%")
+	for _, v := range []classify.AlternateVerdict{classify.AltBestShort, classify.AltBestOnly, classify.AltShortOnly, classify.AltNeither} {
+		t.Row(v.String(), sum.Verdicts[v], stats.Pct(sum.Verdicts[v], sum.Targets))
+	}
+	t.Row("Total", sum.Targets, 100.0)
+	t.Note("%d distinct announcements (paper: 188 for 360 targets)", sum.Announcements)
+	t.Note("%d inter-AS links observed; %d absent from inferred topology; %d (%.1f%%) visible only via poisoning",
+		sum.LinksObserved, sum.LinksMissing, sum.LinksOnlyPoisoned,
+		stats.Pct(sum.LinksOnlyPoisoned, sum.LinksMissing))
+	t.Note("paper: 86.1%% both, 8.0%% best only, 5.0%% shortest only, 0.8%% neither; 739 links, 45 missing, 22.2%% poison-only")
+	t.Render(w)
+}
+
+// All runs every experiment in paper order.
+func All(w io.Writer, s *scenario.Scenario, seed int64) {
+	Table1(w, s)
+	Figure1(w, s)
+	Table2(w, s, rand.New(rand.NewSource(seed)))
+	Figure2(w, s)
+	Figure3(w, s)
+	Table3(w, s)
+	Table4(w, s)
+	PSPValidation(w, s)
+	Alternates(w, s, rand.New(rand.NewSource(seed+1)))
+	CaseStudies(w, s, rand.New(rand.NewSource(seed+3)))
+	InferenceAccuracy(w, s)
+	Prediction(w, s)
+	Ablations(w, s, rand.New(rand.NewSource(seed+2)))
+}
+
+// Names lists the experiment identifiers the CLI accepts.
+func Names() []string {
+	out := []string{"table1", "figure1", "table2", "figure2", "figure3", "table3", "table4", "pspvalidation", "alternates", "ablations", "accuracy", "casestudies", "prediction", "all"}
+	sort.Strings(out)
+	return out
+}
+
+// Run dispatches one experiment by name.
+func Run(name string, w io.Writer, s *scenario.Scenario, seed int64) error {
+	switch name {
+	case "table1":
+		Table1(w, s)
+	case "figure1":
+		Figure1(w, s)
+	case "table2":
+		Table2(w, s, rand.New(rand.NewSource(seed)))
+	case "figure2":
+		Figure2(w, s)
+	case "figure3":
+		Figure3(w, s)
+	case "table3":
+		Table3(w, s)
+	case "table4":
+		Table4(w, s)
+	case "pspvalidation":
+		PSPValidation(w, s)
+	case "ablations":
+		Ablations(w, s, rand.New(rand.NewSource(seed+2)))
+	case "accuracy":
+		InferenceAccuracy(w, s)
+	case "casestudies":
+		CaseStudies(w, s, rand.New(rand.NewSource(seed+3)))
+	case "prediction":
+		Prediction(w, s)
+	case "alternates":
+		Alternates(w, s, rand.New(rand.NewSource(seed+1)))
+	case "all":
+		All(w, s, seed)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return nil
+}

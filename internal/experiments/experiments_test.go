@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"routelab/internal/scenario"
+)
+
+var cached *scenario.Scenario
+
+func testScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	if cached == nil {
+		s, err := scenario.Build(scenario.TestConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached = s
+	}
+	return cached
+}
+
+func TestAllExperimentsRender(t *testing.T) {
+	s := testScenario(t)
+	var b strings.Builder
+	All(&b, s, 7)
+	out := b.String()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Table 2", "Figure 2", "Figure 3",
+		"Table 3", "Table 4", "alternate-route",
+		"Best/Short", "Best relationship", "undersea-cable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("suspiciously short output (%d bytes)", len(out))
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	s := testScenario(t)
+	for _, name := range Names() {
+		if name == "all" || name == "table2" || name == "alternates" {
+			continue // covered above; slow
+		}
+		var b strings.Builder
+		if err := Run(name, &b, s, 7); err != nil {
+			t.Errorf("Run(%s): %v", name, err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("Run(%s) produced nothing", name)
+		}
+	}
+	if err := Run("nope", &strings.Builder{}, s, 7); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAppendixExperiments(t *testing.T) {
+	s := testScenario(t)
+	var b strings.Builder
+	InferenceAccuracy(&b, s)
+	if !strings.Contains(b.String(), "Label accuracy") {
+		t.Error("accuracy experiment missing content")
+	}
+	b.Reset()
+	PSPValidation(&b, s)
+	if !strings.Contains(b.String(), "looking glasses") {
+		t.Error("psp validation missing content")
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations rerun the campaign")
+	}
+	s := testScenario(t)
+	var b strings.Builder
+	Ablations(&b, s, rand.New(rand.NewSource(3)))
+	out := b.String()
+	for _, want := range []string{"probe selection", "visibility threshold", "snapshot aggregation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package gaorexford computes, over an (inferred) relationship graph,
+// everything the Gao–Rexford routing model predicts about paths toward a
+// destination AS: which relationship classes of route each AS has
+// available, and the shortest policy-compliant path length per class.
+//
+// This is the "model" side of the paper's comparison (§3.3): a measured
+// decision is judged Best if the chosen neighbor's relationship class is
+// the best class the model says is available, and Short if the measured
+// path is as short as the shortest valley-free path.
+//
+// The computation is the classic three-phase relaxation:
+//
+//	phase 1 (customer routes)  BFS from the destination up customer→
+//	                           provider edges: custLen.
+//	phase 2 (peer routes)      one peer edge on top of a customer route:
+//	                           peerLen.
+//	phase 3 (provider routes)  Dijkstra-style downward propagation:
+//	                           provLen[a] = 1 + min over providers v of
+//	                           min(custLen, peerLen, provLen)(v).
+//
+// Sibling edges, when present in a graph, relay routes without changing
+// their class (the organization acts as one AS).
+package gaorexford
+
+import (
+	"math"
+
+	"routelab/internal/asn"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+)
+
+// Unreachable is the length reported when no policy-compliant path of a
+// class exists.
+const Unreachable = math.MaxInt32
+
+// Result holds the model's predictions toward one destination.
+type Result struct {
+	Dst asn.ASN
+
+	custLen map[asn.ASN]int32
+	peerLen map[asn.ASN]int32
+	provLen map[asn.ASN]int32
+	skip    map[[2]asn.ASN]bool
+}
+
+// Compute runs the model toward dst on g. The masked edges (if any) are
+// treated as absent — the mechanism behind the prefix-specific-policy
+// refinements, which drop origin edges not observed carrying the prefix.
+func Compute(g *relgraph.Graph, dst asn.ASN, masked ...relgraph.Edge) *Result {
+	skip := make(map[[2]asn.ASN]bool, len(masked))
+	for _, e := range masked {
+		skip[[2]asn.ASN{e.A, e.B}] = true
+		skip[[2]asn.ASN{e.B, e.A}] = true
+	}
+	res := &Result{
+		Dst:     dst,
+		custLen: make(map[asn.ASN]int32),
+		peerLen: make(map[asn.ASN]int32),
+		provLen: make(map[asn.ASN]int32),
+		skip:    skip,
+	}
+	res.compute(g)
+	return res
+}
+
+// Route-class states of the unified relaxation. classCust covers routes
+// exportable to everyone: own routes and customer-learned routes.
+// Sibling edges are organizational glue: a sibling relays ANY route, but
+// the route's class (and thus its exportability) is preserved across the
+// sibling hop — the organization acts as one AS.
+const (
+	classCust = 0
+	classPeer = 1
+	classProv = 2
+)
+
+func (r *Result) compute(g *relgraph.Graph) {
+	blocked := func(a, b asn.ASN) bool { return r.skip[[2]asn.ASN{a, b}] }
+	dist := [3]map[asn.ASN]int32{r.custLen, r.peerLen, r.provLen}
+
+	// Dijkstra with uniform edge weights (bucket queue) over states
+	// (AS, class). Lengths count edges, matching Path.Len() as seen from
+	// each AS (dst itself is 0).
+	const maxLen = 64
+	type state struct {
+		a   asn.ASN
+		cls int
+	}
+	buckets := make([][]state, maxLen)
+	relax := func(a asn.ASN, cls int, d int32) {
+		if cur, ok := dist[cls][a]; ok && cur <= d {
+			return
+		}
+		dist[cls][a] = d
+		if d < maxLen {
+			buckets[d] = append(buckets[d], state{a, cls})
+		}
+	}
+	relax(r.Dst, classCust, 0)
+	for d := int32(0); d < maxLen; d++ {
+		for qi := 0; qi < len(buckets[d]); qi++ {
+			s := buckets[d][qi]
+			if dist[s.cls][s.a] != d {
+				continue // stale
+			}
+			for _, b := range g.Neighbors(s.a) {
+				if blocked(s.a, b) {
+					continue
+				}
+				switch g.Rel(b, s.a) { // s.a's role from b's perspective
+				case topology.RelCustomer:
+					// b hears from its customer s.a only s.a's
+					// exportable-to-all routes.
+					if s.cls == classCust {
+						relax(b, classCust, d+1)
+					}
+				case topology.RelSibling:
+					// b hears ANY of its sibling's routes; the class
+					// (exportability) is preserved across the hop.
+					relax(b, s.cls, d+1)
+				case topology.RelPeer:
+					// b hears s.a's exportable-to-all routes as peer
+					// routes.
+					if s.cls == classCust {
+						relax(b, classPeer, d+1)
+					}
+				case topology.RelProvider:
+					// b hears ANY of its provider s.a's routes.
+					relax(b, classProv, d+1)
+				}
+			}
+		}
+	}
+}
+
+// ClassLen returns the shortest model path length from a to the
+// destination using a route of the given class (the class is the
+// relationship of the FIRST edge: customer route, peer route, provider
+// route), or Unreachable.
+func (r *Result) ClassLen(a asn.ASN, class topology.Rel) int {
+	var m map[asn.ASN]int32
+	switch class {
+	case topology.RelCustomer, topology.RelSibling:
+		m = r.custLen
+	case topology.RelPeer:
+		m = r.peerLen
+	case topology.RelProvider:
+		m = r.provLen
+	default:
+		return Unreachable
+	}
+	if d, ok := m[a]; ok {
+		return int(d)
+	}
+	return Unreachable
+}
+
+// BestRank returns the rank (0 customer, 1 peer, 2 provider) of the best
+// relationship class through which the model says a can reach the
+// destination, or 3 when unreachable.
+func (r *Result) BestRank(a asn.ASN) int {
+	if a == r.Dst {
+		return 0
+	}
+	if _, ok := r.custLen[a]; ok {
+		return 0
+	}
+	if _, ok := r.peerLen[a]; ok {
+		return 1
+	}
+	if _, ok := r.provLen[a]; ok {
+		return 2
+	}
+	return 3
+}
+
+// ShortestLen returns the shortest valley-free path length from a to the
+// destination across all classes (the "Short" reference), counting the
+// ASes after a itself — so a path a→x→dst has length 2. Unreachable when
+// the model offers no path.
+func (r *Result) ShortestLen(a asn.ASN) int {
+	if a == r.Dst {
+		return 0
+	}
+	best := Unreachable
+	for _, m := range []map[asn.ASN]int32{r.custLen, r.peerLen, r.provLen} {
+		if d, ok := m[a]; ok && int(d) < best {
+			best = int(d)
+		}
+	}
+	return best
+}
+
+// Reachable reports whether the model offers a any path to the
+// destination.
+func (r *Result) Reachable(a asn.ASN) bool { return r.ShortestLen(a) < Unreachable }
+
+// ShortestPath reconstructs ONE shortest policy-compliant path from a to
+// the destination through the best available class (a first, destination
+// last), or nil when unreachable. Ties break toward lower ASNs, so the
+// result is deterministic. The graph must be the one Compute ran on; the
+// masked edges from Compute are honored automatically.
+func (r *Result) ShortestPath(g *relgraph.Graph, a asn.ASN) []asn.ASN {
+	skip := r.skip
+	dist := [3]map[asn.ASN]int32{r.custLen, r.peerLen, r.provLen}
+	// Start at a's best state.
+	cls, d := -1, int32(Unreachable)
+	for c := 0; c < 3; c++ {
+		if x, ok := dist[c][a]; ok && x < d {
+			cls, d = c, x
+		}
+	}
+	if cls < 0 {
+		return nil
+	}
+	path := []asn.ASN{a}
+	cur := a
+	for cur != r.Dst {
+		next, nextCls := asn.ASN(0), -1
+		for _, b := range g.Neighbors(cur) {
+			if skip[[2]asn.ASN{cur, b}] {
+				continue
+			}
+			rel := g.Rel(cur, b) // b's role from cur
+			// Which of b's states could have produced cur's state?
+			var okCls []int
+			switch {
+			case cls == classCust && rel == topology.RelCustomer:
+				okCls = []int{classCust}
+			case rel == topology.RelSibling:
+				okCls = []int{cls} // class preserved across sibling hops
+			case cls == classPeer && rel == topology.RelPeer:
+				okCls = []int{classCust}
+			case cls == classProv && rel == topology.RelProvider:
+				okCls = []int{classCust, classPeer, classProv}
+			}
+			for _, bc := range okCls {
+				if bd, ok := dist[bc][b]; ok && bd == d-1 {
+					if next.IsZero() || b < next {
+						next, nextCls = b, bc
+					}
+					break
+				}
+			}
+		}
+		if next.IsZero() {
+			return nil // inconsistent state (wrong graph passed)
+		}
+		path = append(path, next)
+		cur, cls, d = next, nextCls, d-1
+	}
+	return path
+}

@@ -1,0 +1,362 @@
+// Package inference re-infers AS relationships from route-monitor feeds,
+// playing the role of CAIDA's serial-1/serial-2 databases in the paper.
+//
+// The algorithm is a compact cousin of Luckie et al. (IMC'13): transit
+// degrees, a greedy Tier-1 clique, direction votes from path peaks, and
+// a vantage-point-visibility test to separate settlement-free peering
+// from transit. It is deliberately run on the SAME biased inputs the
+// real databases use (core-heavy monitors, best paths only), so its
+// errors — stale links kept by multi-month aggregation, cable operators
+// labeled as peers, invisible backup links, missing edge mesh — emerge
+// naturally rather than being injected.
+package inference
+
+import (
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+	"routelab/internal/vantage"
+)
+
+// Config tunes the inference heuristics.
+type Config struct {
+	// MaxCliqueSize bounds the greedy Tier-1 clique.
+	MaxCliqueSize int
+	// VisibilityThreshold is the fraction of vantage points that must
+	// see a link for it to count as transit; links seen by fewer VPs
+	// are classified as peering (peer routes do not propagate upward,
+	// so genuine p2p links are visible only inside the two customer
+	// cones).
+	VisibilityThreshold float64
+	// SameOrg, when non-nil, reports whether two ASes belong to one
+	// organization (from whois-based sibling grouping). Organizations
+	// exchange full tables internally, so an export to a sibling is NOT
+	// evidence of a customer relationship — ignoring this produces
+	// phantom transit edges.
+	SameOrg func(a, b asn.ASN) bool
+}
+
+// DefaultConfig mirrors the constants the accompanying tests calibrate.
+func DefaultConfig() Config {
+	return Config{MaxCliqueSize: 20, VisibilityThreshold: 0.3}
+}
+
+// InferSnapshot infers a relationship graph from one monitor snapshot.
+func InferSnapshot(s *vantage.Snapshot, cfg Config) *relgraph.Graph {
+	if cfg.MaxCliqueSize == 0 {
+		cfg = DefaultConfig()
+	}
+	paths := cleanPaths(s.Paths())
+
+	deg := transitDegrees(paths)
+	adj := adjacency(paths)
+	clique := findClique(deg, adj, cfg.MaxCliqueSize)
+
+	// Direction votes: locate each path's peak (highest transit degree)
+	// and vote provider-ward on both slopes.
+	type pair = topology.LinkKey
+	downVotes := make(map[pair]int) // vote that Lo is Hi's provider
+	upVotes := make(map[pair]int)   // vote that Hi is Lo's provider
+	vote := func(provider, customer asn.ASN) {
+		k := topology.MakeLinkKey(provider, customer)
+		if k.Lo == provider {
+			downVotes[k]++
+		} else {
+			upVotes[k]++
+		}
+	}
+	for _, p := range paths {
+		peak := 0
+		for i := 1; i < len(p); i++ {
+			if deg[p[i]] > deg[p[peak]] {
+				peak = i
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if i+1 <= peak {
+				vote(p[i+1], p[i]) // uphill toward the peak
+			} else {
+				vote(p[i], p[i+1]) // downhill toward the origin
+			}
+		}
+	}
+
+	// Visibility: how many distinct vantage points see each link.
+	seenBy := make(map[pair]map[asn.ASN]bool)
+	totalVPs := make(map[asn.ASN]bool)
+	// upExport[{A,B}] records the ASes X observed immediately above A
+	// on paths "... X A B ...": A exported B-side routes to X. If some
+	// X is at least as big as A, the export went to a peer or provider,
+	// which only customer routes may do — so B is A's customer even if
+	// few monitors see the edge (the research-network case).
+	type dirEdge struct{ transit, other asn.ASN }
+	upExport := make(map[dirEdge]map[asn.ASN]bool)
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		totalVPs[e.Peer] = true
+		for j := 0; j+1 < len(e.Path); j++ {
+			k := topology.MakeLinkKey(e.Path[j], e.Path[j+1])
+			m := seenBy[k]
+			if m == nil {
+				m = make(map[asn.ASN]bool)
+				seenBy[k] = m
+			}
+			m[e.Peer] = true
+			if j > 0 {
+				de := dirEdge{transit: e.Path[j], other: e.Path[j+1]}
+				um := upExport[de]
+				if um == nil {
+					um = make(map[asn.ASN]bool)
+					upExport[de] = um
+				}
+				um[e.Path[j-1]] = true
+			}
+		}
+	}
+	nVPs := len(totalVPs)
+	exportedUpward := func(transit, other asn.ASN) bool {
+		for x := range upExport[dirEdge{transit, other}] {
+			if x == other {
+				continue
+			}
+			if cfg.SameOrg != nil && cfg.SameOrg(x, transit) {
+				continue // intra-organization export proves nothing
+			}
+			// Export to a clique member or to a network at least as
+			// large is a peer/provider export, legal only for customer
+			// routes.
+			if clique[x] || deg[x] >= deg[transit] {
+				return true
+			}
+		}
+		return false
+	}
+
+	g := relgraph.New()
+	for k := range adj {
+		loInClique, hiInClique := clique[k.Lo], clique[k.Hi]
+		visibility := 0.0
+		if nVPs > 0 {
+			visibility = float64(len(seenBy[k])) / float64(nVPs)
+		}
+		switch {
+		case loInClique && hiInClique:
+			g.Set(k.Lo, k.Hi, topology.RelPeer)
+		case visibility < cfg.VisibilityThreshold:
+			// Few monitors see the edge — usually settlement-free
+			// peering, unless the export pattern proves transit.
+			switch {
+			case exportedUpward(k.Lo, k.Hi):
+				g.Set(k.Lo, k.Hi, topology.RelCustomer) // Hi is Lo's customer
+			case exportedUpward(k.Hi, k.Lo):
+				g.Set(k.Lo, k.Hi, topology.RelProvider)
+			default:
+				g.Set(k.Lo, k.Hi, topology.RelPeer)
+			}
+		case downVotes[k] >= upVotes[k]:
+			// Lo is Hi's provider → Hi's role from Lo is customer.
+			g.Set(k.Lo, k.Hi, topology.RelCustomer)
+		default:
+			g.Set(k.Lo, k.Hi, topology.RelProvider)
+		}
+	}
+	return g
+}
+
+// cleanPaths drops loops (poisoned or corrupted paths) and collapses
+// prepending.
+func cleanPaths(in [][]asn.ASN) [][]asn.ASN {
+	var out [][]asn.ASN
+	for _, p := range in {
+		q := make([]asn.ASN, 0, len(p))
+		seen := make(map[asn.ASN]bool, len(p))
+		ok := true
+		for _, a := range p {
+			if len(q) > 0 && q[len(q)-1] == a {
+				continue // prepending
+			}
+			if seen[a] {
+				ok = false
+				break
+			}
+			seen[a] = true
+			q = append(q, a)
+		}
+		if ok && len(q) >= 1 {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// transitDegrees counts, per AS, the distinct neighbors it is seen
+// forwarding between (appearing mid-path).
+func transitDegrees(paths [][]asn.ASN) map[asn.ASN]int {
+	sets := make(map[asn.ASN]map[asn.ASN]bool)
+	for _, p := range paths {
+		for i := 1; i+1 < len(p); i++ {
+			m := sets[p[i]]
+			if m == nil {
+				m = make(map[asn.ASN]bool)
+				sets[p[i]] = m
+			}
+			m[p[i-1]] = true
+			m[p[i+1]] = true
+		}
+	}
+	deg := make(map[asn.ASN]int, len(sets))
+	for a, m := range sets {
+		deg[a] = len(m)
+	}
+	return deg
+}
+
+// adjacency collects every observed link.
+func adjacency(paths [][]asn.ASN) map[topology.LinkKey]bool {
+	adj := make(map[topology.LinkKey]bool)
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			adj[topology.MakeLinkKey(p[i], p[i+1])] = true
+		}
+	}
+	return adj
+}
+
+// findClique greedily grows the Tier-1 clique from the highest transit
+// degrees, requiring mutual adjacency.
+func findClique(deg map[asn.ASN]int, adj map[topology.LinkKey]bool, maxSize int) map[asn.ASN]bool {
+	type cand struct {
+		a asn.ASN
+		d int
+	}
+	cands := make([]cand, 0, len(deg))
+	for a, d := range deg {
+		cands = append(cands, cand{a, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d > cands[j].d
+		}
+		return cands[i].a < cands[j].a
+	})
+	clique := make(map[asn.ASN]bool)
+	if len(cands) == 0 {
+		return clique
+	}
+	minDeg := cands[0].d / 4 // members must be at least a quarter of the top
+	for _, c := range cands {
+		if len(clique) >= maxSize || c.d < minDeg {
+			break
+		}
+		connected := true
+		for m := range clique {
+			if !adj[topology.MakeLinkKey(c.a, m)] {
+				connected = false
+				break
+			}
+		}
+		if connected {
+			clique[c.a] = true
+		}
+	}
+	return clique
+}
+
+// Aggregate merges per-epoch graphs the way §3.3 describes: the link set
+// is the union over all epochs (which is how decommissioned links go
+// stale), and when relationship labels conflict, the two most recent
+// epochs win if they agree, otherwise the overall majority (recency
+// breaking ties). Graphs must be ordered oldest first.
+func Aggregate(graphs []*relgraph.Graph) *relgraph.Graph {
+	out := relgraph.New()
+	if len(graphs) == 0 {
+		return out
+	}
+	type obs struct {
+		epoch int
+		role  topology.Rel
+	}
+	all := make(map[topology.LinkKey][]obs)
+	for epoch, g := range graphs {
+		for _, e := range g.Edges() {
+			k := topology.MakeLinkKey(e.A, e.B)
+			role := e.Role // B's (Hi's) role from A (Lo)
+			if k.Lo != e.A {
+				role = role.Invert()
+			}
+			all[k] = append(all[k], obs{epoch, role})
+		}
+	}
+	latest := len(graphs) - 1
+	for k, os := range all {
+		// Latest-two agreement.
+		var lastTwo []topology.Rel
+		for _, o := range os {
+			if o.epoch >= latest-1 {
+				lastTwo = append(lastTwo, o.role)
+			}
+		}
+		if len(lastTwo) == 2 && lastTwo[0] == lastTwo[1] {
+			out.Set(k.Lo, k.Hi, lastTwo[0])
+			continue
+		}
+		// Majority, recency-weighted by breaking ties toward later epochs.
+		count := make(map[topology.Rel]int)
+		lastEpoch := make(map[topology.Rel]int)
+		for _, o := range os {
+			count[o.role]++
+			if o.epoch > lastEpoch[o.role] {
+				lastEpoch[o.role] = o.epoch
+			}
+		}
+		var bestRole topology.Rel
+		bestN, bestE := -1, -1
+		for _, role := range []topology.Rel{topology.RelCustomer, topology.RelProvider, topology.RelPeer, topology.RelSibling} {
+			n, ok := count[role]
+			if !ok {
+				continue
+			}
+			if n > bestN || (n == bestN && lastEpoch[role] > bestE) {
+				bestRole, bestN, bestE = role, n, lastEpoch[role]
+			}
+		}
+		out.Set(k.Lo, k.Hi, bestRole)
+	}
+	return out
+}
+
+// Accuracy compares an inferred graph against the ground truth and
+// reports per-category agreement — the sanity metric EXPERIMENTS.md
+// records. Sibling ground-truth links count as correct when inferred as
+// either c2p or p2p is false; they are matched only by RelSibling (which
+// the inference never emits), so they always count as mislabeled —
+// exactly CAIDA's situation.
+type Accuracy struct {
+	Links, Correct      int
+	MissingFromInferred int
+	ExtraInInferred     int
+}
+
+// MeasureAccuracy computes label agreement on the intersection of edges
+// plus the two difference counts.
+func MeasureAccuracy(inferred, truth *relgraph.Graph) Accuracy {
+	var acc Accuracy
+	for _, e := range truth.Edges() {
+		if !inferred.HasEdge(e.A, e.B) {
+			acc.MissingFromInferred++
+			continue
+		}
+		acc.Links++
+		if inferred.Rel(e.A, e.B) == e.Role {
+			acc.Correct++
+		}
+	}
+	for _, e := range inferred.Edges() {
+		if !truth.HasEdge(e.A, e.B) {
+			acc.ExtraInInferred++
+		}
+	}
+	return acc
+}

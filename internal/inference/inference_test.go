@@ -1,0 +1,170 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+
+	"routelab/internal/asn"
+	"routelab/internal/bgp"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+	"routelab/internal/vantage"
+)
+
+func TestCleanPaths(t *testing.T) {
+	in := [][]asn.ASN{
+		{1, 2, 3},
+		{1, 2, 2, 3}, // prepending collapses
+		{1, 2, 1},    // loop dropped
+		{4},          // single-AS path kept
+		{},           // empty dropped
+	}
+	out := cleanPaths(in)
+	if len(out) != 3 {
+		t.Fatalf("cleanPaths kept %d, want 3: %v", len(out), out)
+	}
+	if len(out[1]) != 3 {
+		t.Errorf("prepending not collapsed: %v", out[1])
+	}
+}
+
+func TestTransitDegrees(t *testing.T) {
+	paths := [][]asn.ASN{
+		{1, 2, 3},
+		{4, 2, 5},
+		{1, 3},
+	}
+	deg := transitDegrees(paths)
+	if deg[2] != 4 {
+		t.Errorf("deg[2] = %d, want 4 (neighbors 1,3,4,5)", deg[2])
+	}
+	if deg[1] != 0 || deg[3] != 0 {
+		t.Error("endpoints have no transit degree")
+	}
+}
+
+func TestFindClique(t *testing.T) {
+	deg := map[asn.ASN]int{1: 100, 2: 90, 3: 80, 4: 10, 5: 9}
+	adj := map[topology.LinkKey]bool{
+		topology.MakeLinkKey(1, 2): true,
+		topology.MakeLinkKey(1, 3): true,
+		topology.MakeLinkKey(2, 3): true,
+		topology.MakeLinkKey(1, 4): true, // 4 connects only to 1
+	}
+	clique := findClique(deg, adj, 10)
+	if !clique[1] || !clique[2] || !clique[3] {
+		t.Errorf("clique should contain 1,2,3: %v", clique)
+	}
+	if clique[4] || clique[5] {
+		t.Error("low-degree / non-mutual ASes must stay out of the clique")
+	}
+}
+
+func TestAggregateLatestTwoWin(t *testing.T) {
+	mk := func(role topology.Rel) *relgraph.Graph {
+		g := relgraph.New()
+		g.Set(1, 2, role)
+		return g
+	}
+	graphs := []*relgraph.Graph{
+		mk(topology.RelCustomer), mk(topology.RelCustomer), mk(topology.RelCustomer),
+		mk(topology.RelPeer), mk(topology.RelPeer),
+	}
+	agg := Aggregate(graphs)
+	if agg.Rel(1, 2) != topology.RelPeer {
+		t.Errorf("latest-two agreement must win: got %s", agg.Rel(1, 2))
+	}
+}
+
+func TestAggregateMajorityOtherwise(t *testing.T) {
+	mk := func(role topology.Rel) *relgraph.Graph {
+		g := relgraph.New()
+		g.Set(1, 2, role)
+		return g
+	}
+	graphs := []*relgraph.Graph{
+		mk(topology.RelCustomer), mk(topology.RelCustomer), mk(topology.RelCustomer),
+		mk(topology.RelCustomer), mk(topology.RelPeer),
+	}
+	agg := Aggregate(graphs)
+	if agg.Rel(1, 2) != topology.RelCustomer {
+		t.Errorf("majority must win when the last two disagree: got %s", agg.Rel(1, 2))
+	}
+}
+
+func TestAggregateKeepsStaleLinks(t *testing.T) {
+	old := relgraph.New()
+	old.Set(1, 2, topology.RelPeer)
+	old.Set(2, 3, topology.RelCustomer)
+	recent := relgraph.New()
+	recent.Set(2, 3, topology.RelCustomer) // link 1-2 vanished
+	agg := Aggregate([]*relgraph.Graph{old, old, recent})
+	if !agg.HasEdge(1, 2) {
+		t.Error("aggregation must keep links from old epochs (the stale-link effect)")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if g := Aggregate(nil); g.NumEdges() != 0 {
+		t.Error("empty aggregate should have no edges")
+	}
+}
+
+// End-to-end calibration: infer over feeds from a generated topology and
+// require reasonable (not perfect!) agreement with ground truth. The
+// gaps ARE the phenomenon under study, but an inference that is mostly
+// wrong would make the downstream experiments meaningless.
+func TestInferenceAccuracyOnGeneratedTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	topo := topology.Generate(21, topology.TestConfig())
+	e := bgp.New(topo, 21)
+	rib := e.ComputeFullRIB(0)
+	peers := vantage.SelectPeers(topo, rand.New(rand.NewSource(21)), 40)
+	if len(peers) == 0 {
+		t.Fatal("no vantage peers selected")
+	}
+	snap := vantage.Collect(rib, peers, 0)
+	if len(snap.Entries) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	inferred := InferSnapshot(snap, DefaultConfig())
+	truth := relgraph.FromTopology(topo)
+	acc := MeasureAccuracy(inferred, truth)
+	t.Logf("accuracy: %d/%d labels correct, %d links invisible to monitors, %d phantom",
+		acc.Correct, acc.Links, acc.MissingFromInferred, acc.ExtraInInferred)
+	if acc.Links == 0 {
+		t.Fatal("no overlapping links at all")
+	}
+	if frac := float64(acc.Correct) / float64(acc.Links); frac < 0.70 {
+		t.Errorf("label agreement %.2f below 0.70 — inference too weak to study", frac)
+	}
+	// The visibility bias must exist: some ground-truth links (edge
+	// peering, backups) must be invisible to the monitors.
+	if acc.MissingFromInferred == 0 {
+		t.Error("monitors saw every link — the visibility bias the paper needs is gone")
+	}
+	// Phantom links should be rare (paths do not invent adjacencies).
+	if acc.ExtraInInferred > acc.Links/10 {
+		t.Errorf("%d phantom links is implausibly many", acc.ExtraInInferred)
+	}
+}
+
+func TestSelectPeersCoreBias(t *testing.T) {
+	topo := topology.Generate(5, topology.TestConfig())
+	peers := vantage.SelectPeers(topo, rand.New(rand.NewSource(5)), 30)
+	if len(peers) == 0 || len(peers) > 30 {
+		t.Fatalf("got %d peers", len(peers))
+	}
+	classes := map[topology.Class]int{}
+	for _, p := range peers {
+		classes[topo.AS(p).Class]++
+	}
+	if classes[topology.Tier1] == 0 {
+		t.Error("every Tier-1 should feed the monitors")
+	}
+	if classes[topology.Stub] != 0 {
+		t.Error("stub networks do not feed RouteViews")
+	}
+}

@@ -1,0 +1,163 @@
+package ipasmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"routelab/internal/asn"
+	"routelab/internal/bgp"
+	"routelab/internal/topology"
+	"routelab/internal/traceroute"
+	"routelab/internal/vantage"
+)
+
+type fixture struct {
+	topo   *topology.Topology
+	rib    *bgp.RIB
+	mapper *Mapper
+	tracer *traceroute.Tracer
+	dst    asn.Addr
+}
+
+func newFixture(t *testing.T, seed int64, trCfg traceroute.Config) *fixture {
+	t.Helper()
+	topo := topology.Generate(seed, topology.TestConfig())
+	e := bgp.New(topo, seed)
+	rib := e.ComputeFullRIB(0)
+	peers := vantage.SelectPeers(topo, rand.New(rand.NewSource(seed)), 30)
+	snap := vantage.Collect(rib, peers, 0)
+	cdn := topo.Names["cdn-major"]
+	return &fixture{
+		topo:   topo,
+		rib:    rib,
+		mapper: FromSnapshot(snap),
+		tracer: traceroute.New(topo, rib, trCfg),
+		dst:    topo.AS(cdn).Prefixes[0].Nth(40),
+	}
+}
+
+func TestASOfLongestMatch(t *testing.T) {
+	f := newFixture(t, 41, traceroute.DefaultConfig())
+	if f.mapper.NumPrefixes() == 0 {
+		t.Fatal("mapper learned no prefixes")
+	}
+	// Announced prefixes resolve to their origin.
+	for _, a := range f.topo.ASNs()[:50] {
+		for _, p := range f.topo.AS(a).Prefixes {
+			if got := f.mapper.ASOf(p.Nth(9)); got != a && got != 0 {
+				t.Fatalf("ASOf inside %s = %v, want %v (or unknown)", p, got, a)
+			}
+		}
+	}
+	// Router addresses resolve through covering prefixes; IXP fabrics
+	// stay unknown.
+	first := f.topo.ASNs()[0]
+	infra := f.topo.AS(first).InfraPrefix
+	if got := f.mapper.ASOf(infra.Nth(1)); got != first && got != 0 {
+		t.Errorf("router address resolved to %v, want %v or unknown", got, first)
+	}
+	if f.mapper.ASOf(topology.IXPPrefix(3).Nth(1)) != 0 {
+		t.Error("IXP fabric resolved via BGP prefixes")
+	}
+	if f.mapper.ASOf(0) != 0 {
+		t.Error("the zero address must be unknown")
+	}
+}
+
+// With artifacts disabled, conversion must reproduce the true AS path
+// modulo hops whose infrastructure is invisible to BGP (which the
+// cleanup bridges).
+func TestConvertCleanTraces(t *testing.T) {
+	f := newFixture(t, 42, traceroute.Config{MaxHops: 30, Seed: 1})
+	exact, total := 0, 0
+	for _, src := range f.topo.ASesOfClass(topology.Stub)[:25] {
+		tr := f.tracer.Trace(src, f.topo.AS(src).Cities[0], f.dst)
+		if !tr.Reached {
+			continue
+		}
+		got, ok := f.mapper.ConvertTrace(tr)
+		if !ok {
+			continue
+		}
+		total++
+		if pathsEqual(got, tr.TrueASPath) {
+			exact++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no usable conversions")
+	}
+	if frac := float64(exact) / float64(total); frac < 0.9 {
+		t.Errorf("only %.2f of clean traces converted exactly (%d/%d)", frac, exact, total)
+	}
+}
+
+// With realistic artifact rates, conversion must still be mostly right —
+// the Chen-et-al. pipeline achieves high accuracy — but not perfect.
+func TestConvertNoisyTraces(t *testing.T) {
+	f := newFixture(t, 43, traceroute.DefaultConfig())
+	exact, total := 0, 0
+	for _, src := range f.topo.ASesOfClass(topology.Stub)[:40] {
+		tr := f.tracer.Trace(src, f.topo.AS(src).Cities[0], f.dst)
+		if !tr.Reached {
+			continue
+		}
+		got, ok := f.mapper.ConvertTrace(tr)
+		if !ok {
+			continue
+		}
+		total++
+		if pathsEqual(got, tr.TrueASPath) {
+			exact++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("only %d usable conversions", total)
+	}
+	frac := float64(exact) / float64(total)
+	t.Logf("noisy conversion accuracy: %d/%d = %.2f", exact, total, frac)
+	if frac < 0.75 {
+		t.Errorf("conversion accuracy %.2f too low to be useful", frac)
+	}
+}
+
+func TestDropAnomaliesThirdParty(t *testing.T) {
+	m := &Mapper{knownLink: map[topology.LinkKey]bool{}}
+	// A X A collapses to A.
+	got := m.dropAnomalies([]asn.ASN{1, 2, 1, 3})
+	if len(got) != 3 || got[0] != 1 || got[1] != 1 && got[1] != 3 {
+		// After dropping X=2 the two 1s merge: 1 3.
+	}
+	got = m.dropAnomalies([]asn.ASN{1, 2, 1})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("A X A should collapse to A: %v", got)
+	}
+}
+
+func TestDropAnomaliesPhantom(t *testing.T) {
+	m := &Mapper{knownLink: map[topology.LinkKey]bool{
+		topology.MakeLinkKey(1, 3): true,
+	}}
+	got := m.dropAnomalies([]asn.ASN{1, 2, 3})
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("phantom middle AS should be dropped: %v", got)
+	}
+	// If the middle AS has a known link to either side, keep it.
+	m.knownLink[topology.MakeLinkKey(1, 2)] = true
+	got = m.dropAnomalies([]asn.ASN{1, 2, 3})
+	if len(got) != 3 {
+		t.Errorf("legitimate middle AS dropped: %v", got)
+	}
+}
+
+func pathsEqual(a, b []asn.ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

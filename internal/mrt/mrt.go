@@ -1,0 +1,112 @@
+// Package mrt serializes monitor snapshots in an MRT-style framing
+// (after RFC 6396's TABLE_DUMP_V2 spirit, simplified to the fields
+// routelab's pipeline consumes): a sequence of length-prefixed records,
+// each carrying (peer AS, prefix, AS path). Snapshots written by the
+// collector can be stored, shipped, and re-read by the inference stage.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"routelab/internal/asn"
+	"routelab/internal/vantage"
+)
+
+// magic identifies a routelab MRT stream (not a registered MRT type —
+// real MRT has no magic; this guards against feeding arbitrary files in).
+var magic = [4]byte{'R', 'M', 'R', 'T'}
+
+const version = 1
+
+// maxRecord caps a record to keep corrupted streams from exhausting
+// memory.
+const maxRecord = 1 << 16
+
+// Write serializes a snapshot.
+func Write(w io.Writer, s *vantage.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("mrt: write magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:], version)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(s.Epoch))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(s.Entries)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mrt: write header: %w", err)
+	}
+	var rec []byte
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		rec = rec[:0]
+		rec = binary.BigEndian.AppendUint32(rec, uint32(e.Peer))
+		rec = binary.BigEndian.AppendUint32(rec, uint32(e.Prefix.Addr))
+		rec = append(rec, e.Prefix.Len)
+		rec = binary.BigEndian.AppendUint16(rec, uint16(len(e.Path)))
+		for _, a := range e.Path {
+			rec = binary.BigEndian.AppendUint32(rec, uint32(a))
+		}
+		var sz [2]byte
+		binary.BigEndian.PutUint16(sz[:], uint16(len(rec)))
+		if _, err := bw.Write(sz[:]); err != nil {
+			return fmt.Errorf("mrt: write record size: %w", err)
+		}
+		if _, err := bw.Write(rec); err != nil {
+			return fmt.Errorf("mrt: write record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a snapshot.
+func Read(r io.Reader) (*vantage.Snapshot, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("mrt: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("mrt: bad magic")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("mrt: read header: %w", err)
+	}
+	if v := binary.BigEndian.Uint16(hdr[0:]); v != version {
+		return nil, fmt.Errorf("mrt: unsupported version %d", v)
+	}
+	s := &vantage.Snapshot{Epoch: int(binary.BigEndian.Uint16(hdr[2:]))}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	for i := uint32(0); i < n; i++ {
+		var sz [2]byte
+		if _, err := io.ReadFull(br, sz[:]); err != nil {
+			return nil, fmt.Errorf("mrt: read record %d size: %w", i, err)
+		}
+		recLen := int(binary.BigEndian.Uint16(sz[:]))
+		if recLen > maxRecord || recLen < 11 {
+			return nil, fmt.Errorf("mrt: record %d has invalid size %d", i, recLen)
+		}
+		rec := make([]byte, recLen)
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("mrt: read record %d: %w", i, err)
+		}
+		e := vantage.Entry{
+			Peer: asn.ASN(binary.BigEndian.Uint32(rec[0:])),
+			Prefix: asn.NewPrefix(
+				asn.Addr(binary.BigEndian.Uint32(rec[4:])), rec[8]),
+		}
+		pathLen := int(binary.BigEndian.Uint16(rec[9:]))
+		if len(rec) != 11+4*pathLen {
+			return nil, fmt.Errorf("mrt: record %d path truncated", i)
+		}
+		for j := 0; j < pathLen; j++ {
+			e.Path = append(e.Path, asn.ASN(binary.BigEndian.Uint32(rec[11+4*j:])))
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	return s, nil
+}

@@ -1,0 +1,130 @@
+package mrt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routelab/internal/asn"
+	"routelab/internal/vantage"
+)
+
+func sample() *vantage.Snapshot {
+	return &vantage.Snapshot{
+		Epoch: 3,
+		Entries: []vantage.Entry{
+			{Peer: 3356, Prefix: asn.NewPrefix(asn.AddrFrom4(10, 0, 0, 0), 8), Path: []asn.ASN{3356, 174, 65000}},
+			{Peer: 174, Prefix: asn.NewPrefix(asn.AddrFrom4(198, 51, 100, 0), 24), Path: []asn.ASN{174}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Epoch != want.Epoch || len(got.Entries) != len(want.Entries) {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	for i := range want.Entries {
+		w, g := want.Entries[i], got.Entries[i]
+		if g.Peer != w.Peer || g.Prefix != w.Prefix || len(g.Path) != len(w.Path) {
+			t.Fatalf("entry %d: %+v vs %+v", i, g, w)
+		}
+		for j := range w.Path {
+			if g.Path[j] != w.Path[j] {
+				t.Fatalf("entry %d path[%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &vantage.Snapshot{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 || len(got.Entries) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCorruptRecordSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Record size field sits right after the 12-byte preamble.
+	b[12], b[13] = 0xff, 0xff
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+// Property: arbitrary snapshots round-trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &vantage.Snapshot{Epoch: int(n) % 7}
+		for i := 0; i < int(n%12); i++ {
+			e := vantage.Entry{
+				Peer:   asn.ASN(rng.Uint32()),
+				Prefix: asn.NewPrefix(asn.Addr(rng.Uint32()), uint8(rng.Intn(33))),
+			}
+			for j := 0; j < rng.Intn(9); j++ {
+				e.Path = append(e.Path, asn.ASN(rng.Uint32()))
+			}
+			s.Entries = append(s.Entries, e)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Epoch != s.Epoch || len(got.Entries) != len(s.Entries) {
+			return false
+		}
+		for i := range s.Entries {
+			if got.Entries[i].Peer != s.Entries[i].Peer ||
+				got.Entries[i].Prefix != s.Entries[i].Prefix ||
+				len(got.Entries[i].Path) != len(s.Entries[i].Path) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

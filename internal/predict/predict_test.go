@@ -1,0 +1,115 @@
+package predict
+
+import (
+	"testing"
+
+	"routelab/internal/asn"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+)
+
+// line: 1 ← 2 ← 3 (provider chains down to origin 1).
+func lineGraph() *relgraph.Graph {
+	g := relgraph.New()
+	g.Set(2, 1, topology.RelCustomer)
+	g.Set(3, 2, topology.RelCustomer)
+	return g
+}
+
+func TestPathPrediction(t *testing.T) {
+	p := New(lineGraph())
+	got := p.Path(3, 1)
+	want := []asn.ASN{3, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Path = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", got, want)
+		}
+	}
+	if p.Path(99, 1) != nil {
+		t.Error("unknown source predicted a path")
+	}
+}
+
+func TestScoreExact(t *testing.T) {
+	p := New(lineGraph())
+	s := p.ScorePath([]asn.ASN{3, 2, 1})
+	if !s.Predicted || !s.Exact || s.CommonPrefix != 3 || s.LenDelta != 0 {
+		t.Fatalf("score = %+v", s)
+	}
+}
+
+func TestScoreDivergent(t *testing.T) {
+	g := lineGraph()
+	g.Set(3, 4, topology.RelCustomer) // alternative: 3-4-1
+	g.Set(4, 1, topology.RelCustomer)
+	p := New(g)
+	// The model picks one of the equal-length customer paths
+	// deterministically (lowest ASN: via 2). A measurement via 4
+	// diverges after the first hop.
+	s := p.ScorePath([]asn.ASN{3, 4, 1})
+	if !s.Predicted || s.Exact {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.CommonPrefix != 1 || s.LenDelta != 0 {
+		t.Fatalf("score = %+v", s)
+	}
+}
+
+func TestScoreShorterPrediction(t *testing.T) {
+	p := New(lineGraph())
+	// Measured path with an extra (fictional) detour hop.
+	s := p.ScorePath([]asn.ASN{3, 2, 2, 1})
+	if s.LenDelta != -1 {
+		t.Fatalf("LenDelta = %d, want -1", s.LenDelta)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	p := New(lineGraph())
+	sum := p.Evaluate([][]asn.ASN{
+		{3, 2, 1}, // exact
+		{2, 1},    // exact
+		{3, 9, 1}, // diverges after first hop
+		{99, 1},   // unpredictable source
+		{1},       // degenerate, skipped
+	})
+	if sum.Paths != 4 {
+		t.Errorf("Paths = %d", sum.Paths)
+	}
+	if sum.Predicted != 3 {
+		t.Errorf("Predicted = %d", sum.Predicted)
+	}
+	if sum.Exact != 2 {
+		t.Errorf("Exact = %d", sum.Exact)
+	}
+	if sum.SameLength != 3 {
+		t.Errorf("SameLength = %d", sum.SameLength)
+	}
+	if sum.FirstHopCorrect != 2 {
+		t.Errorf("FirstHopCorrect = %d", sum.FirstHopCorrect)
+	}
+}
+
+// The predictor must be internally consistent on a generated topology:
+// predictions exist for most measured-style pairs and caching does not
+// change answers.
+func TestPredictorCacheConsistency(t *testing.T) {
+	topo := topology.Generate(97, topology.TestConfig())
+	g := relgraph.FromTopology(topo)
+	p := New(g)
+	cdn := topo.Names["cdn-major"]
+	stub := topo.ASesOfClass(topology.Stub)[5]
+	a := p.Path(stub, cdn)
+	b := p.Path(stub, cdn)
+	if len(a) == 0 {
+		t.Fatal("no prediction on a connected topology")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cached prediction differs")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package relgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"routelab/internal/topology"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form: solid directed edges
+// point provider→customer, dashed undirected edges are peering, dotted
+// edges siblings. Useful for eyeballing small inferred topologies
+// (`dot -Tsvg`).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name)
+	for _, e := range g.Edges() {
+		switch e.Role { // B's role from A
+		case topology.RelCustomer: // A is the provider
+			fmt.Fprintf(bw, "  %d -> %d;\n", uint32(e.A), uint32(e.B))
+		case topology.RelProvider:
+			fmt.Fprintf(bw, "  %d -> %d;\n", uint32(e.B), uint32(e.A))
+		case topology.RelPeer:
+			fmt.Fprintf(bw, "  %d -> %d [dir=none, style=dashed];\n", uint32(e.A), uint32(e.B))
+		case topology.RelSibling:
+			fmt.Fprintf(bw, "  %d -> %d [dir=none, style=dotted];\n", uint32(e.A), uint32(e.B))
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("relgraph: write dot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package relgraph
+
+import (
+	"strings"
+	"testing"
+
+	"routelab/internal/topology"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	g.Set(1, 2, topology.RelCustomer) // 1 provider of 2
+	g.Set(1, 3, topology.RelPeer)
+	g.Set(2, 4, topology.RelSibling)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "test"`,
+		"1 -> 2;",                  // provider edge points down
+		"[dir=none, style=dashed]", // peering
+		"[dir=none, style=dotted]", // sibling
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "2 -> 1;") {
+		t.Error("provider edge emitted in both directions")
+	}
+}

@@ -1,0 +1,137 @@
+// Package relgraph holds an AS-relationship graph — the data structure
+// CAIDA-style inference produces and the Gao–Rexford model computation
+// consumes. Unlike topology.Topology (the ground truth, with geography,
+// policies, and addresses), a Graph is only "who connects to whom and in
+// what business role", possibly wrong and possibly incomplete, exactly
+// like the serial files the paper downloads.
+package relgraph
+
+import (
+	"sort"
+
+	"routelab/internal/asn"
+	"routelab/internal/topology"
+)
+
+// Edge is one relationship assertion: B's role as seen from A.
+type Edge struct {
+	A, B asn.ASN
+	Role topology.Rel // B's role from A's perspective
+}
+
+// Graph is a mutable relationship graph. The zero value is not usable;
+// call New.
+type Graph struct {
+	rel map[asn.ASN]map[asn.ASN]topology.Rel
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{rel: make(map[asn.ASN]map[asn.ASN]topology.Rel)}
+}
+
+// Set records b's role from a's perspective (and the inverse for b),
+// overwriting any previous assertion for the pair.
+func (g *Graph) Set(a, b asn.ASN, roleOfB topology.Rel) {
+	g.setOne(a, b, roleOfB)
+	g.setOne(b, a, roleOfB.Invert())
+}
+
+func (g *Graph) setOne(a, b asn.ASN, r topology.Rel) {
+	m := g.rel[a]
+	if m == nil {
+		m = make(map[asn.ASN]topology.Rel)
+		g.rel[a] = m
+	}
+	m[b] = r
+}
+
+// Remove deletes the adjacency in both directions.
+func (g *Graph) Remove(a, b asn.ASN) {
+	delete(g.rel[a], b)
+	delete(g.rel[b], a)
+}
+
+// Rel returns b's role from a's perspective, or RelNone when the graph
+// has no such edge.
+func (g *Graph) Rel(a, b asn.ASN) topology.Rel { return g.rel[a][b] }
+
+// HasEdge reports whether the pair is adjacent in the graph.
+func (g *Graph) HasEdge(a, b asn.ASN) bool { return g.rel[a][b] != topology.RelNone }
+
+// Neighbors returns a's neighbors in ascending order.
+func (g *Graph) Neighbors(a asn.ASN) []asn.ASN {
+	out := make([]asn.ASN, 0, len(g.rel[a]))
+	for b := range g.rel[a] {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ASNs returns every AS appearing in the graph, ascending.
+func (g *Graph) ASNs() []asn.ASN {
+	out := make([]asn.ASN, 0, len(g.rel))
+	for a := range g.rel {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns every edge once (A < B), sorted.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for a, m := range g.rel {
+		for b, r := range m {
+			if a < b {
+				out = append(out, Edge{A: a, B: b, Role: r})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// NumEdges counts distinct adjacencies.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for a, m := range g.rel {
+		for b := range m {
+			if a < b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for a, m := range g.rel {
+		cm := make(map[asn.ASN]topology.Rel, len(m))
+		for b, r := range m {
+			cm[b] = r
+		}
+		c.rel[a] = cm
+	}
+	return c
+}
+
+// FromTopology builds the ground-truth relationship graph (base roles
+// only — hybrid and partial-transit subtleties are invisible at this
+// granularity, just as they are to CAIDA). Useful as an oracle in tests
+// and for measuring inference accuracy.
+func FromTopology(t *topology.Topology) *Graph {
+	g := New()
+	t.Links(func(l *topology.Link) {
+		g.Set(l.Lo, l.Hi, l.HiRole)
+	})
+	return g
+}

@@ -1,0 +1,171 @@
+// Package report renders experiment results as fixed-width text tables
+// and simple ASCII series — the "rows the paper reports" output format
+// of every routelab experiment binary.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them aligned.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable starts a table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends one row; values are formatted with %v, floats as %.1f.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				b.WriteString(pad(c, widths[i]))
+			} else {
+				b.WriteString(padLeft(c, widths[i]))
+			}
+		}
+		return b.String()
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	hdr := line(t.headers)
+	fmt.Fprintf(w, "%s\n%s\n", hdr, strings.Repeat("-", len(hdr)))
+	for _, r := range t.rows {
+		fmt.Fprintf(w, "%s\n", line(r))
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func padLeft(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// StackedBars renders a Figure 1 / Figure 3-style stacked percentage
+// breakdown: one line per column with proportional glyph segments.
+type StackedBars struct {
+	Title   string
+	legend  []string
+	glyphs  []rune
+	columns []barColumn
+}
+
+type barColumn struct {
+	label  string
+	shares []float64 // percentages, same order as legend
+}
+
+// NewStackedBars starts a chart; legend entries map to glyphs in order.
+func NewStackedBars(title string, legend ...string) *StackedBars {
+	glyphs := []rune{'#', 'o', '=', '.', '~', '+'}
+	if len(legend) > len(glyphs) {
+		panic("report: too many legend entries")
+	}
+	return &StackedBars{Title: title, legend: legend, glyphs: glyphs[:len(legend)]}
+}
+
+// Column appends a bar; shares are percentages summing to ~100.
+func (s *StackedBars) Column(label string, shares ...float64) *StackedBars {
+	s.columns = append(s.columns, barColumn{label, shares})
+	return s
+}
+
+// Render writes the chart.
+func (s *StackedBars) Render(w io.Writer) {
+	if s.Title != "" {
+		fmt.Fprintf(w, "%s\n", s.Title)
+	}
+	for i, l := range s.legend {
+		fmt.Fprintf(w, "  %c %s\n", s.glyphs[i], l)
+	}
+	const width = 60
+	labelW := 0
+	for _, c := range s.columns {
+		if len(c.label) > labelW {
+			labelW = len(c.label)
+		}
+	}
+	for _, c := range s.columns {
+		var bar strings.Builder
+		for i, share := range c.shares {
+			n := int(share/100*width + 0.5)
+			for j := 0; j < n && bar.Len() < width; j++ {
+				bar.WriteRune(s.glyphs[i])
+			}
+		}
+		fmt.Fprintf(w, "%s |%s|", pad(c.label, labelW), pad(bar.String(), width))
+		for i, share := range c.shares {
+			fmt.Fprintf(w, " %c%5.1f%%", s.glyphs[i], share)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// Series renders a compact CDF line: label followed by points.
+func Series(w io.Writer, label string, points []float64) {
+	fmt.Fprintf(w, "%s:", label)
+	for _, p := range points {
+		fmt.Fprintf(w, " %.2f", p)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	var b strings.Builder
+	NewTable("Table X: demo", "AS type", "Probes", "Share").
+		Row("Stub-AS", 120, 61.5).
+		Row("Small ISP", 60, 30.8).
+		Note("synthetic data").
+		Render(&b)
+	out := b.String()
+	for _, want := range []string{"Table X: demo", "Stub-AS", "61.5", "note: synthetic data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the numeric column is right-aligned.
+	lines := strings.Split(out, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "Stub-AS") || strings.Contains(l, "Small ISP") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 || len(dataLines[0]) != len(dataLines[1]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	var b strings.Builder
+	NewStackedBars("Figure X", "Best/Short", "NonBest/Short").
+		Column("Simple", 64.7, 35.3).
+		Column("All-1", 85.7, 14.3).
+		Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "Simple") || !strings.Contains(out, "64.7%") {
+		t.Errorf("bars missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "o") {
+		t.Errorf("bars missing glyphs:\n%s", out)
+	}
+}
+
+func TestStackedBarsTooManyLegends(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many legend entries")
+		}
+	}()
+	NewStackedBars("x", "a", "b", "c", "d", "e", "f", "g")
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "cdf", []float64{0.25, 0.5, 1})
+	if got := b.String(); got != "cdf: 0.25 0.50 1.00\n" {
+		t.Errorf("Series = %q", got)
+	}
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"testing"
+
+	"routelab/internal/classify"
+	"routelab/internal/geo"
+	"routelab/internal/topology"
+)
+
+// System-level invariants over the fully built scenario: properties that
+// must hold regardless of seeds or calibration constants.
+
+func TestInvariantDecisionsAreOnMeasuredPaths(t *testing.T) {
+	s := getScenario(t)
+	for i := range s.Measurements {
+		m := &s.Measurements[i]
+		if len(m.Decisions) != len(m.ASPath)-1 {
+			t.Fatalf("measurement %d: %d decisions for a %d-AS path",
+				m.TraceID, len(m.Decisions), len(m.ASPath))
+		}
+		for j, d := range m.Decisions {
+			if d.At != m.ASPath[j] || d.Via != m.ASPath[j+1] {
+				t.Fatalf("measurement %d decision %d misaligned", m.TraceID, j)
+			}
+			if d.RestLen != len(m.ASPath)-1-j {
+				t.Fatalf("measurement %d decision %d RestLen %d", m.TraceID, j, d.RestLen)
+			}
+			if d.DstAS != m.DstAS || d.Prefix != m.Prefix {
+				t.Fatalf("measurement %d decision %d destination mismatch", m.TraceID, j)
+			}
+		}
+	}
+}
+
+func TestInvariantPrefixCoversDestination(t *testing.T) {
+	s := getScenario(t)
+	for i := range s.Measurements {
+		m := &s.Measurements[i]
+		// The matched prefix's origin (per the mapper's feed view) is
+		// the measurement's destination AS.
+		if got := s.Mapper.ASOf(m.Prefix.Nth(1)); got != m.DstAS {
+			t.Fatalf("measurement %d: prefix origin %v != DstAS %v", m.TraceID, got, m.DstAS)
+		}
+	}
+}
+
+// Classification must be invariant to decision order and pure (no
+// hidden state mutations besides caches).
+func TestInvariantClassificationPure(t *testing.T) {
+	s := getScenario(t)
+	ds := s.Decisions()
+	if len(ds) < 10 {
+		t.Skip("too few decisions")
+	}
+	first := make([]classify.Category, 10)
+	for i := 0; i < 10; i++ {
+		first[i] = s.Context.Classify(ds[i], classify.All1)
+	}
+	// Classify a bunch of others, then re-check.
+	for i := len(ds) - 1; i > len(ds)-200 && i > 0; i-- {
+		s.Context.Classify(ds[i], classify.Simple)
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Context.Classify(ds[i], classify.All1); got != first[i] {
+			t.Fatalf("decision %d reclassified from %v to %v", i, first[i], got)
+		}
+	}
+}
+
+// The inferred graph must never contain an adjacency that never existed
+// (phantoms can only come from IP→AS conversion, which feeds
+// measurement, not inference).
+func TestInvariantInferredEdgesExistOrExisted(t *testing.T) {
+	s := getScenario(t)
+	phantom := 0
+	for _, e := range s.Inferred.Edges() {
+		if s.Topo.Link(e.A, e.B) != nil {
+			continue
+		}
+		retired := false
+		for _, l := range s.Topo.RetiredLinks {
+			if l.Lo == topology.MakeLinkKey(e.A, e.B).Lo && l.Hi == topology.MakeLinkKey(e.A, e.B).Hi {
+				retired = true
+			}
+		}
+		if !retired {
+			phantom++
+		}
+	}
+	if phantom > 0 {
+		t.Errorf("%d inferred edges never existed", phantom)
+	}
+}
+
+// Geographic annotations must be internally consistent: a single-country
+// measurement is necessarily single-continent.
+func TestInvariantGeographyConsistent(t *testing.T) {
+	s := getScenario(t)
+	for i := range s.Measurements {
+		m := &s.Measurements[i]
+		if _, single := m.SingleCountry(s.Topo.World); !single {
+			continue
+		}
+		if _, confined := m.Continental(s.Topo.World); !confined {
+			t.Fatalf("measurement %d: single-country but multi-continent", m.TraceID)
+		}
+	}
+}
+
+// Probes must be placed where their AS has presence, and the balanced
+// selection must stay within the population.
+func TestInvariantProbePlacement(t *testing.T) {
+	s := getScenario(t)
+	pop := map[int]bool{}
+	for _, p := range s.Platform.Probes() {
+		pop[p.ID] = true
+	}
+	for _, p := range s.Probes {
+		if !pop[p.ID] {
+			t.Fatalf("selected probe %d not in the population", p.ID)
+		}
+		if !s.Topo.AS(p.AS).HasCity(p.City) {
+			t.Fatalf("probe %d city %d not a PoP of %v", p.ID, p.City, p.AS)
+		}
+		if s.Topo.World.ContinentOf(p.City) == geo.ContinentNone {
+			t.Fatalf("probe %d has no continent", p.ID)
+		}
+	}
+}
+
+// Every looking-glass answer must be reachable ground truth: the
+// directory is backed by the same RIB that forwards packets.
+func TestInvariantLookingGlassConsistency(t *testing.T) {
+	s := getScenario(t)
+	checked := 0
+	for _, a := range s.Topo.ASesOfClass(topology.LargeISP) {
+		if !s.LookingGlasses.Has(a) || checked >= 10 {
+			continue
+		}
+		for i := range s.Measurements {
+			m := &s.Measurements[i]
+			e, err := s.LookingGlasses.Query(a, m.Prefix.Nth(1))
+			if err != nil {
+				break
+			}
+			rt, ok := s.RIB.Lookup(a, m.Prefix.Nth(1))
+			if !ok || rt.NextHop != e.NextHop {
+				t.Fatalf("LG answer for %v diverges from the RIB", a)
+			}
+			checked++
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no queryable (AS, prefix) pairs at this seed")
+	}
+}

@@ -1,0 +1,331 @@
+// Package scenario wires the whole reproduction together: it generates
+// the ground-truth Internet, converges routing for the current and
+// historical epochs, collects monitor feeds, runs relationship/sibling
+// inference, deploys the Atlas platform, executes the traceroute
+// campaign, and assembles the classify.Context every experiment uses.
+//
+// Building a full-scale scenario is expensive (two full RIB
+// computations); experiments share one Scenario instance.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routelab/internal/asn"
+	"routelab/internal/atlas"
+	"routelab/internal/bgp"
+	"routelab/internal/classify"
+	"routelab/internal/complexrel"
+	"routelab/internal/geodb"
+	"routelab/internal/inference"
+	"routelab/internal/ipasmap"
+	"routelab/internal/lookingglass"
+	"routelab/internal/peering"
+	"routelab/internal/relgraph"
+	"routelab/internal/siblings"
+	"routelab/internal/topology"
+	"routelab/internal/traceroute"
+	"routelab/internal/vantage"
+)
+
+// Config sizes a scenario run.
+type Config struct {
+	Seed     int64
+	Topology topology.Config
+
+	// NumVantagePeers is the monitor feed count per epoch.
+	NumVantagePeers int
+	// HistoricEpochs+CurrentEpochs snapshots feed inference (3+2 = the
+	// paper's five monthly snapshots; the boundary is where links
+	// retire).
+	HistoricEpochs, CurrentEpochs int
+
+	// NumProbes is the balanced Atlas sample size (paper: 1,998).
+	NumProbes int
+	// TracesTarget approximates the campaign size (paper: 28,510); each
+	// selected probe measures TracesTarget/NumProbes of the hostnames.
+	TracesTarget int
+
+	// ActiveProbes (RIPE) and PlanetLabNodes observe the PEERING
+	// experiments' data plane (paper: 96 + ~200).
+	ActiveProbes, PlanetLabNodes int
+	// MaxAlternateTargets caps the §4.4 discovery campaign (0 = all
+	// observed targets).
+	MaxAlternateTargets int
+
+	Traceroute traceroute.Config
+	GeoDB      geodb.Config
+	// ComplexCoverage is how complete the published hybrid/partial
+	// dataset is.
+	ComplexCoverage float64
+}
+
+// DefaultConfig is the paper-scale scenario.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            2015,
+		Topology:        topology.DefaultConfig(),
+		NumVantagePeers: 26,
+		HistoricEpochs:  3,
+		CurrentEpochs:   2,
+		NumProbes:       1998,
+		TracesTarget:    28510,
+		ActiveProbes:    96,
+		PlanetLabNodes:  200,
+		Traceroute:      traceroute.DefaultConfig(),
+		GeoDB:           geodb.DefaultConfig(),
+		ComplexCoverage: 0.9,
+	}
+}
+
+// TestConfig is a fast small-scale scenario for tests and examples.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.Topology = topology.TestConfig()
+	c.NumVantagePeers = 25
+	c.NumProbes = 240
+	c.TracesTarget = 2400
+	c.ActiveProbes = 24
+	c.PlanetLabNodes = 30
+	c.MaxAlternateTargets = 60
+	return c
+}
+
+// Scenario is a fully-built reproduction environment.
+type Scenario struct {
+	Cfg    Config
+	Topo   *topology.Topology
+	Engine *bgp.Engine
+	// RIB is the CURRENT full routing state.
+	RIB *bgp.RIB
+
+	Snapshots []*vantage.Snapshot
+	Inferred  *relgraph.Graph
+	Mapper    *ipasmap.Mapper
+	GeoDB     *geodb.DB
+	Siblings  *siblings.Groups
+	Complex   *complexrel.Dataset
+	Platform  *atlas.Platform
+	// Probes is the balanced Atlas selection of the campaign.
+	Probes []atlas.Probe
+
+	// LookingGlasses are the operator route servers used for the §4.3
+	// validation.
+	LookingGlasses *lookingglass.Directory
+
+	Context      *classify.Context
+	Measurements []classify.Measurement
+	// TracesIssued counts all traceroutes, including unusable ones.
+	TracesIssued int
+
+	Testbed *peering.Testbed
+}
+
+// Logf receives progress lines during Build; nil silences them.
+type Logf func(format string, args ...any)
+
+// Build assembles the scenario.
+func Build(cfg Config, logf Logf) (*Scenario, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Scenario{Cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	logf("generating topology (seed %d)", cfg.Seed)
+	s.Topo = topology.Generate(cfg.Seed, cfg.Topology)
+	s.Engine = bgp.New(s.Topo, cfg.Seed)
+	logf("  %d ASes, %d links, %d prefixes",
+		s.Topo.NumASes(), s.Topo.NumLinks(), len(s.Topo.OriginatedPrefixes()))
+
+	logf("converging historical epoch routing")
+	topoHist := s.Topo.Restored()
+	ribHist := bgp.New(topoHist, cfg.Seed).ComputeFullRIB(0)
+	logf("converging current epoch routing")
+	s.RIB = s.Engine.ComputeFullRIB(0)
+
+	s.Siblings = siblings.Infer(s.Topo.Registry, s.Topo.DNS)
+
+	logf("collecting %d monitor snapshots", cfg.HistoricEpochs+cfg.CurrentEpochs)
+	infCfg := inference.DefaultConfig()
+	infCfg.SameOrg = s.Siblings.SameOrg
+	var graphs []*relgraph.Graph
+	for epoch := 0; epoch < cfg.HistoricEpochs+cfg.CurrentEpochs; epoch++ {
+		src := ribHist
+		topoFor := topoHist
+		if epoch >= cfg.HistoricEpochs {
+			src = s.RIB
+			topoFor = s.Topo
+		}
+		peers := vantage.SelectPeers(topoFor, rng, cfg.NumVantagePeers)
+		snap := vantage.Collect(src, peers, epoch)
+		s.Snapshots = append(s.Snapshots, snap)
+		graphs = append(graphs, inference.InferSnapshot(snap, infCfg))
+	}
+	s.Inferred = inference.Aggregate(graphs)
+	logf("  inferred graph: %d edges", s.Inferred.NumEdges())
+
+	latest := s.Snapshots[len(s.Snapshots)-1]
+	s.Mapper = ipasmap.FromSnapshot(latest)
+	s.GeoDB = geodb.New(s.Topo, cfg.GeoDB)
+	s.Complex = complexrel.FromGroundTruth(s.Topo, rng, cfg.ComplexCoverage)
+
+	// §4.3 evidence from the CURRENT epochs only.
+	originEv := make(map[asn.Prefix]map[asn.ASN]bool)
+	edgeEver := make(map[topology.LinkKey]bool)
+	for _, snap := range s.Snapshots[cfg.HistoricEpochs:] {
+		for p, ns := range snap.OriginNeighbors() {
+			m := originEv[p]
+			if m == nil {
+				m = make(map[asn.ASN]bool)
+				originEv[p] = m
+			}
+			origin := s.Topo.OriginOf(p)
+			for n := range ns {
+				m[n] = true
+				if !origin.IsZero() {
+					edgeEver[topology.MakeLinkKey(origin, n)] = true
+				}
+			}
+		}
+	}
+
+	cables := make(map[asn.ASN]bool)
+	for _, a := range s.Topo.ASesOfClass(topology.CableOp) {
+		cables[a] = true
+	}
+	s.Context = &classify.Context{
+		Graph:            s.Inferred,
+		Siblings:         s.Siblings,
+		Complex:          s.Complex,
+		OriginEvidence:   originEv,
+		EdgeEverAtOrigin: edgeEver,
+		Registry:         s.Topo.Registry,
+		World:            s.Topo.World,
+		CableASes:        cables,
+	}
+
+	logf("deploying Atlas platform")
+	s.Platform = atlas.NewPlatform(s.Topo, cfg.Seed)
+	s.Probes = s.Platform.SelectBalanced(rng, cfg.NumProbes)
+	logf("  population %d probes, selected %d", s.Platform.NumProbes(), len(s.Probes))
+
+	logf("running traceroute campaign (target %d traces)", cfg.TracesTarget)
+	if err := s.runCampaign(rng); err != nil {
+		return nil, err
+	}
+	decisions := 0
+	for i := range s.Measurements {
+		decisions += len(s.Measurements[i].Decisions)
+	}
+	logf("  %d traces issued, %d usable, %d decisions",
+		s.TracesIssued, len(s.Measurements), decisions)
+
+	// Roughly one in five transit operators runs a public route server
+	// (the paper found 28 of 149 candidate neighbors).
+	s.LookingGlasses = lookingglass.Deploy(s.Topo, s.RIB, rng, 0.2)
+
+	tb, err := peering.NewTestbed(s.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s.Testbed = tb
+	return s, nil
+}
+
+// runCampaign resolves and traces hostnames from every selected probe.
+func (s *Scenario) runCampaign(rng *rand.Rand) error {
+	ms, issued, err := s.Campaign(s.Probes, s.Cfg.TracesTarget, rng)
+	if err != nil {
+		return err
+	}
+	s.Measurements = ms
+	s.TracesIssued = issued
+	return nil
+}
+
+// Campaign runs a traceroute campaign from an arbitrary probe set (the
+// ablation experiments re-run it with alternative probe selections) and
+// returns the usable measurements plus the raw trace count.
+func (s *Scenario) Campaign(probes []atlas.Probe, target int, rng *rand.Rand) ([]classify.Measurement, int, error) {
+	hostnames := s.Topo.DNS.Hostnames()
+	if len(hostnames) == 0 {
+		return nil, 0, fmt.Errorf("scenario: topology has no content hostnames")
+	}
+	if len(probes) == 0 {
+		return nil, 0, fmt.Errorf("scenario: empty probe set")
+	}
+	perProbe := target / len(probes)
+	if perProbe < 1 {
+		perProbe = 1
+	}
+	if perProbe > len(hostnames) {
+		perProbe = len(hostnames)
+	}
+	tracer := traceroute.New(s.Topo, s.RIB, s.Cfg.Traceroute)
+	var out []classify.Measurement
+	issued := 0
+	for _, probe := range probes {
+		upstreams := s.upstreamsOf(probe.AS)
+		probeCont := s.Topo.World.ContinentOf(probe.City)
+		order := rng.Perm(len(hostnames))[:perProbe]
+		for _, hi := range order {
+			h := hostnames[hi]
+			ans, err := s.Topo.DNS.Resolve(h.Name, probe.AS, probeCont, upstreams, rng)
+			if err != nil {
+				continue
+			}
+			issued++
+			tr := tracer.Trace(probe.AS, probe.City, ans.Addr)
+			m, ok := classify.Extract(issued, tr, s.Mapper, s.GeoDB)
+			if !ok {
+				continue
+			}
+			out = append(out, m)
+		}
+	}
+	return out, issued, nil
+}
+
+// upstreamsOf lists a probe AS's providers and providers-of-providers
+// (the DNS mapper prefers off-net caches hosted nearby, and CDN mapping
+// systems look beyond the immediate upstream).
+func (s *Scenario) upstreamsOf(a asn.ASN) []asn.ASN {
+	var out []asn.ASN
+	seen := map[asn.ASN]bool{a: true}
+	for _, n := range s.Topo.Neighbors(a) {
+		if n.Role == topology.RelProvider && !seen[n.ASN] {
+			seen[n.ASN] = true
+			out = append(out, n.ASN)
+		}
+	}
+	for _, p := range append([]asn.ASN(nil), out...) {
+		for _, n := range s.Topo.Neighbors(p) {
+			if n.Role == topology.RelProvider && !seen[n.ASN] {
+				seen[n.ASN] = true
+				out = append(out, n.ASN)
+			}
+		}
+	}
+	return out
+}
+
+// Decisions flattens every measurement's decisions.
+func (s *Scenario) Decisions() []classify.Decision {
+	var out []classify.Decision
+	for i := range s.Measurements {
+		out = append(out, s.Measurements[i].Decisions...)
+	}
+	return out
+}
+
+// DestinationASes counts the distinct destination ASes of the campaign
+// (the paper's "218 destination ASes" effect).
+func (s *Scenario) DestinationASes() int {
+	seen := map[asn.ASN]bool{}
+	for i := range s.Measurements {
+		seen[s.Measurements[i].DstAS] = true
+	}
+	return len(seen)
+}

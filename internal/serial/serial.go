@@ -1,0 +1,105 @@
+// Package serial reads and writes AS-relationship files in the CAIDA
+// serial-1 text format the paper's tooling consumes:
+//
+//	# comment lines
+//	<AS1>|<AS2>|<relationship>
+//
+// where relationship is -1 (AS1 is a provider of AS2), 0 (peers), or 1
+// (AS1 is a customer of AS2 — the rarely-used inverse, accepted on
+// input and never emitted). routelab extends the format with 2 for
+// sibling assertions, flagged in the header.
+package serial
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"routelab/internal/asn"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+)
+
+// Write emits the graph in serial-1 form, edges sorted, one per line.
+func Write(w io.Writer, g *relgraph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# routelab AS relationships (CAIDA serial-1 format)")
+	fmt.Fprintln(bw, "# <provider-as>|<customer-as>|-1  <peer-as>|<peer-as>|0  <sibling>|<sibling>|2")
+	for _, e := range g.Edges() {
+		var a, b asn.ASN
+		var rel int
+		switch e.Role { // e.Role is B's role from A
+		case topology.RelCustomer: // A is the provider
+			a, b, rel = e.A, e.B, -1
+		case topology.RelProvider: // B is the provider
+			a, b, rel = e.B, e.A, -1
+		case topology.RelPeer:
+			a, b, rel = e.A, e.B, 0
+		case topology.RelSibling:
+			a, b, rel = e.A, e.B, 2
+		default:
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d|%d|%d\n", uint32(a), uint32(b), rel); err != nil {
+			return fmt.Errorf("serial: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a serial-1 file into a graph. Unknown relationship codes
+// and malformed lines are errors; comments and blank lines are skipped.
+func Read(r io.Reader) (*relgraph.Graph, error) {
+	g := relgraph.New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("serial: line %d: want AS1|AS2|rel, got %q", lineNo, line)
+		}
+		a, err := parseASN(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("serial: line %d: %w", lineNo, err)
+		}
+		b, err := parseASN(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("serial: line %d: %w", lineNo, err)
+		}
+		rel, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("serial: line %d: bad relationship: %w", lineNo, err)
+		}
+		switch rel {
+		case -1: // a provider of b
+			g.Set(a, b, topology.RelCustomer)
+		case 1: // a customer of b
+			g.Set(a, b, topology.RelProvider)
+		case 0:
+			g.Set(a, b, topology.RelPeer)
+		case 2:
+			g.Set(a, b, topology.RelSibling)
+		default:
+			return nil, fmt.Errorf("serial: line %d: unknown relationship %d", lineNo, rel)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serial: scan: %w", err)
+	}
+	return g, nil
+}
+
+func parseASN(s string) (asn.ASN, error) {
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad ASN %q: %w", s, err)
+	}
+	return asn.ASN(n), nil
+}

@@ -1,0 +1,126 @@
+package serial
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"routelab/internal/asn"
+	"routelab/internal/relgraph"
+	"routelab/internal/topology"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := relgraph.New()
+	g.Set(3356, 65000, topology.RelCustomer)
+	g.Set(3356, 174, topology.RelPeer)
+	g.Set(701, 702, topology.RelSibling)
+	g.Set(65000, 64999, topology.RelCustomer)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if got.Rel(e.A, e.B) != e.Role {
+			t.Errorf("edge %v-%v: %v, want %v", e.A, e.B, got.Rel(e.A, e.B), e.Role)
+		}
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Errorf("edge counts: %d vs %d", got.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestReadInverseCode(t *testing.T) {
+	g, err := Read(strings.NewReader("64496|64497|1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64496 is a customer of 64497 → 64497's role from 64496 = provider.
+	if g.Rel(64496, 64497) != topology.RelProvider {
+		t.Errorf("got %v", g.Rel(64496, 64497))
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n1|2|0\n   \n# trailing\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.Rel(1, 2) != topology.RelPeer {
+		t.Fatalf("graph: %d edges", g.NumEdges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{
+		"1|2",             // missing field
+		"1|2|0|9",         // extra field
+		"x|2|0",           // bad ASN
+		"1|y|0",           // bad ASN
+		"1|2|zebra",       // bad rel
+		"1|2|7",           // unknown rel code
+		"99999999999|2|0", // ASN overflow
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// Property: any generated graph round-trips with identical labels.
+func TestRoundTripProperty(t *testing.T) {
+	roles := []topology.Rel{topology.RelCustomer, topology.RelProvider, topology.RelPeer, topology.RelSibling}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := relgraph.New()
+		for i := 0; i < int(n%40); i++ {
+			a := asn.ASN(1 + rng.Intn(500))
+			b := asn.ASN(1 + rng.Intn(500))
+			if a == b {
+				continue
+			}
+			g.Set(a, b, roles[rng.Intn(len(roles))])
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if got.Rel(e.A, e.B) != e.Role {
+				return false
+			}
+		}
+		return got.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteGeneratedTopology(t *testing.T) {
+	topo := topology.Generate(91, topology.TestConfig())
+	g := relgraph.FromTopology(topo)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges: %d vs %d", got.NumEdges(), g.NumEdges())
+	}
+}

@@ -1,0 +1,148 @@
+package session
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"routelab/internal/asn"
+	"routelab/internal/bgp"
+	"routelab/internal/vantage"
+	"routelab/internal/wire"
+)
+
+// Collector is a RouteViews-style collector: it listens for BGP
+// sessions, receives each peer's table export, and assembles a
+// vantage.Snapshot. It exists so the feed pipeline crosses a real
+// socket; the resulting snapshot is identical to vantage.Collect's.
+type Collector struct {
+	ln  net.Listener
+	cfg Config
+
+	mu      sync.Mutex
+	entries []vantage.Entry
+	wg      sync.WaitGroup
+}
+
+// NewCollector starts listening on addr (use "127.0.0.1:0" in tests).
+func NewCollector(addr string, cfg Config) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("session: collector listen: %w", err)
+	}
+	c := &Collector{ln: ln, cfg: cfg}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serve(conn)
+		}()
+	}
+}
+
+// serve handshakes one peer and drains its updates until Cease or EOF.
+func (c *Collector) serve(conn net.Conn) {
+	defer conn.Close()
+	sp, err := Establish(conn, c.cfg)
+	if err != nil {
+		return
+	}
+	for {
+		msg, err := sp.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case wire.Update:
+			c.ingest(sp.RemoteAS, m)
+		case wire.Notification:
+			return
+		case wire.Keepalive:
+			// refresh; nothing to do
+		default:
+			sp.Notify(1, 3, nil) // message header error / bad type
+			return
+		}
+	}
+}
+
+func (c *Collector) ingest(peer asn.ASN, u wire.Update) {
+	if len(u.NLRI) == 0 {
+		return
+	}
+	// The AS_PATH as received already starts with the peer (BGP speakers
+	// prepend themselves on export); store it verbatim, as RouteViews
+	// does.
+	path := u.ASPath.Sequence()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range u.NLRI {
+		c.entries = append(c.entries, vantage.Entry{
+			Peer:   peer,
+			Prefix: p,
+			Path:   append([]asn.ASN(nil), path...),
+		})
+	}
+}
+
+// Snapshot closes the listener, waits for in-flight sessions, and
+// returns everything collected.
+func (c *Collector) Snapshot(epoch int) *vantage.Snapshot {
+	c.ln.Close()
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &vantage.Snapshot{Epoch: epoch, Entries: c.entries}
+}
+
+// ExportRoutes dials a collector and announces every route of one AS's
+// table over a real BGP session — the peer side of the feed.
+func ExportRoutes(addr string, peer asn.ASN, rib *bgp.RIB, cfg Config) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("session: export dial: %w", err)
+	}
+	cfg.AS = peer
+	sp, err := Establish(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	defer sp.Close()
+	for _, p := range rib.Prefixes() {
+		rt, ok := rib.Route(peer, p)
+		if !ok {
+			continue
+		}
+		// The path as exported: the peer prepends itself unless it is
+		// the origin.
+		path := rt.Path
+		if !rt.IsOrigin() {
+			path = path.Prepend(peer)
+		}
+		u := wire.Update{
+			Origin:  wire.OriginIGP,
+			ASPath:  path,
+			NextHop: asn.AddrFrom4(192, 0, 2, 1),
+			NLRI:    []asn.Prefix{p},
+		}
+		if err := sp.SendUpdate(u); err != nil {
+			return fmt.Errorf("session: export %s: %w", p, err)
+		}
+	}
+	return nil
+}

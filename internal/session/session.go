@@ -1,0 +1,192 @@
+// Package session implements a minimal BGP speaker over TCP: the OPEN/
+// KEEPALIVE handshake, message framing, and update exchange. It is the
+// transport the collector emulation uses so that routelab's "BGP feeds"
+// actually cross a socket in RFC 4271 format.
+//
+// The state machine is deliberately small (Idle → OpenSent → OpenConfirm
+// → Established); there are no timers beyond the hold-time handshake
+// value because the simulator drives sessions synchronously.
+package session
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"routelab/internal/asn"
+	"routelab/internal/wire"
+)
+
+// Speaker is one side of an established BGP session.
+type Speaker struct {
+	conn     net.Conn
+	r        *bufio.Reader
+	LocalAS  asn.ASN
+	RemoteAS asn.ASN
+	buf      []byte
+}
+
+// Config identifies the local end.
+type Config struct {
+	AS       asn.ASN
+	BGPID    uint32
+	HoldTime uint16
+	// Timeout bounds the handshake and every read.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HoldTime == 0 {
+		c.HoldTime = 90
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return c
+}
+
+// Establish performs the OPEN/KEEPALIVE handshake over an existing
+// connection (either side may initiate; BGP's handshake is symmetric).
+func Establish(conn net.Conn, cfg Config) (*Speaker, error) {
+	cfg = cfg.withDefaults()
+	s := &Speaker{conn: conn, r: bufio.NewReader(conn), LocalAS: cfg.AS}
+	deadline := time.Now().Add(cfg.Timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("session: set deadline: %w", err)
+	}
+	open := wire.Open{Version: 4, AS: cfg.AS, HoldTime: cfg.HoldTime, BGPID: cfg.BGPID}
+	if err := s.send(open); err != nil {
+		return nil, fmt.Errorf("session: send OPEN: %w", err)
+	}
+	msg, err := s.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("session: await OPEN: %w", err)
+	}
+	remote, ok := msg.(wire.Open)
+	if !ok {
+		return nil, fmt.Errorf("session: expected OPEN, got %s", msg.Type())
+	}
+	if remote.Version != 4 {
+		s.Notify(2, 1, nil) // OPEN error / unsupported version
+		return nil, fmt.Errorf("session: unsupported version %d", remote.Version)
+	}
+	s.RemoteAS = remote.AS
+	if err := s.send(wire.Keepalive{}); err != nil {
+		return nil, fmt.Errorf("session: send KEEPALIVE: %w", err)
+	}
+	msg, err = s.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("session: await KEEPALIVE: %w", err)
+	}
+	if _, ok := msg.(wire.Keepalive); !ok {
+		return nil, fmt.Errorf("session: expected KEEPALIVE, got %s", msg.Type())
+	}
+	// Established. Clear the handshake deadline; callers manage their own.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, fmt.Errorf("session: clear deadline: %w", err)
+	}
+	return s, nil
+}
+
+// send encodes and writes one message.
+func (s *Speaker) send(m wire.Message) error {
+	s.buf = m.Encode(s.buf[:0])
+	_, err := s.conn.Write(s.buf)
+	return err
+}
+
+// SendUpdate transmits one UPDATE.
+func (s *Speaker) SendUpdate(u wire.Update) error {
+	if err := s.send(u); err != nil {
+		return fmt.Errorf("session: send UPDATE: %w", err)
+	}
+	return nil
+}
+
+// Notify sends a NOTIFICATION (best effort) — the sender must close the
+// session afterward, per RFC 4271 §6.
+func (s *Speaker) Notify(code, subcode uint8, data []byte) {
+	_ = s.send(wire.Notification{Code: code, Subcode: subcode, Data: data})
+}
+
+// Recv reads and decodes the next message.
+func (s *Speaker) Recv() (wire.Message, error) {
+	var hdr [wire.HeaderLen]byte
+	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	_, total, err := wire.DecodeHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	full := make([]byte, total)
+	copy(full, hdr[:])
+	if _, err := io.ReadFull(s.r, full[wire.HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return wire.Decode(full)
+}
+
+// Close terminates the session with a Cease notification.
+func (s *Speaker) Close() error {
+	s.Notify(6, 0, nil) // Cease
+	return s.conn.Close()
+}
+
+// Run pumps an established session: KEEPALIVEs go out at a third of the
+// hold time (RFC 4271 §4.4's recommendation), the hold timer tears the
+// session down if the peer goes silent, and every received UPDATE is
+// handed to onUpdate. Run returns when the peer sends NOTIFICATION,
+// closes, or the hold timer expires.
+func (s *Speaker) Run(holdTime time.Duration, onUpdate func(wire.Update)) error {
+	if holdTime <= 0 {
+		holdTime = 90 * time.Second
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(holdTime / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := s.send(wire.Keepalive{}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	for {
+		if err := s.conn.SetReadDeadline(time.Now().Add(holdTime)); err != nil {
+			return fmt.Errorf("session: hold timer: %w", err)
+		}
+		msg, err := s.Recv()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.Notify(4, 0, nil) // hold timer expired
+				s.conn.Close()
+				return fmt.Errorf("session: hold timer expired")
+			}
+			return err
+		}
+		switch m := msg.(type) {
+		case wire.Update:
+			if onUpdate != nil {
+				onUpdate(m)
+			}
+		case wire.Keepalive:
+			// refreshes the hold timer implicitly
+		case wire.Notification:
+			s.conn.Close()
+			return fmt.Errorf("session: peer sent NOTIFICATION %d/%d", m.Code, m.Subcode)
+		default:
+			s.Notify(1, 3, nil)
+			s.conn.Close()
+			return fmt.Errorf("session: unexpected %s in established state", msg.Type())
+		}
+	}
+}

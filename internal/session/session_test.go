@@ -1,0 +1,245 @@
+package session
+
+import (
+	"math/rand"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"routelab/internal/asn"
+	"routelab/internal/bgp"
+	"routelab/internal/topology"
+	"routelab/internal/vantage"
+	"routelab/internal/wire"
+)
+
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dialer, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return dialer, r.c
+}
+
+func TestHandshakeAndUpdateExchange(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	type out struct {
+		sp  *Speaker
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		sp, err := Establish(b, Config{AS: 65001, BGPID: 2})
+		ch <- out{sp, err}
+	}()
+	spA, err := Establish(a, Config{AS: 4200000000, BGPID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB := <-ch
+	if rB.err != nil {
+		t.Fatal(rB.err)
+	}
+	spB := rB.sp
+	if spA.RemoteAS != 65001 || spB.RemoteAS != 4200000000 {
+		t.Fatalf("remote ASes: %v / %v", spA.RemoteAS, spB.RemoteAS)
+	}
+	// Exchange an update.
+	u := wire.Update{
+		Origin:  wire.OriginIGP,
+		ASPath:  asn.PathFromASNs(4200000000, 65000),
+		NextHop: asn.AddrFrom4(10, 0, 0, 1),
+		NLRI:    []asn.Prefix{asn.NewPrefix(asn.AddrFrom4(198, 51, 100, 0), 24)},
+	}
+	if err := spA.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := spB.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(wire.Update)
+	if !ok || !got.ASPath.Equal(u.ASPath) {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestHandshakeTimeout(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	// The other side never answers: Establish must time out quickly.
+	_, err := Establish(a, Config{AS: 1, BGPID: 1, Timeout: 200 * time.Millisecond})
+	if err == nil {
+		t.Fatal("handshake against a silent peer succeeded")
+	}
+}
+
+func TestHandshakeRejectsNonOpen(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := wire.Keepalive{}.Encode(nil)
+		b.Write(buf)
+	}()
+	if _, err := Establish(a, Config{AS: 1, BGPID: 1, Timeout: time.Second}); err == nil {
+		t.Fatal("handshake accepted a KEEPALIVE as OPEN")
+	}
+}
+
+// End-to-end: feed a collector over real TCP sessions and verify the
+// snapshot matches vantage.Collect computed in-process.
+func TestCollectorMatchesInProcessCollect(t *testing.T) {
+	topo := topology.Generate(81, topology.TestConfig())
+	e := bgp.New(topo, 81)
+	// A couple of content prefixes keep the test fast.
+	var prefixes []asn.Prefix
+	for i := 0; i < 2; i++ {
+		a := topo.Names["content-"+string(rune('0'+i))]
+		prefixes = append(prefixes, topo.AS(a).Prefixes...)
+	}
+	rib := e.ComputeRIB(prefixes, 0)
+	peers := vantage.SelectPeers(topo, rand.New(rand.NewSource(81)), 8)
+
+	col, err := NewCollector("127.0.0.1:0", Config{AS: 64999, BGPID: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		if err := ExportRoutes(col.Addr(), p, rib, Config{BGPID: uint32(p)}); err != nil {
+			t.Fatalf("export %v: %v", p, err)
+		}
+	}
+	got := col.Snapshot(0)
+	want := vantage.Collect(rib, peers, 0)
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("entry counts: tcp=%d in-process=%d", len(got.Entries), len(want.Entries))
+	}
+	key := func(e vantage.Entry) string {
+		s := e.Peer.String() + "|" + e.Prefix.String()
+		for _, a := range e.Path {
+			s += "|" + a.String()
+		}
+		return s
+	}
+	gk := make([]string, 0, len(got.Entries))
+	wk := make([]string, 0, len(want.Entries))
+	for _, e := range got.Entries {
+		gk = append(gk, key(e))
+	}
+	for _, e := range want.Entries {
+		wk = append(wk, key(e))
+	}
+	sort.Strings(gk)
+	sort.Strings(wk)
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Fatalf("entry %d differs:\n tcp: %s\n mem: %s", i, gk[i], wk[i])
+		}
+	}
+}
+
+func TestRunKeepalivesAndUpdates(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	ch := make(chan *Speaker, 1)
+	go func() {
+		sp, err := Establish(b, Config{AS: 2, BGPID: 2})
+		if err != nil {
+			ch <- nil
+			return
+		}
+		ch <- sp
+	}()
+	spA, err := Establish(a, Config{AS: 1, BGPID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB := <-ch
+	if spB == nil {
+		t.Fatal("establish failed")
+	}
+	got := make(chan wire.Update, 4)
+	done := make(chan error, 1)
+	go func() {
+		done <- spB.Run(600*time.Millisecond, func(u wire.Update) { got <- u })
+	}()
+	u := wire.Update{ASPath: asn.PathFromASNs(1), NextHop: 9,
+		NLRI: []asn.Prefix{asn.NewPrefix(asn.AddrFrom4(10, 0, 0, 0), 8)}}
+	if err := spA.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if !r.ASPath.Equal(u.ASPath) {
+			t.Fatalf("update mangled: %v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update never delivered")
+	}
+	// Cease ends the run loop.
+	spA.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil after NOTIFICATION")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on NOTIFICATION")
+	}
+}
+
+func TestRunHoldTimerExpires(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	ch := make(chan *Speaker, 1)
+	go func() {
+		sp, _ := Establish(b, Config{AS: 2, BGPID: 2})
+		ch <- sp
+	}()
+	spA, err := Establish(a, Config{AS: 1, BGPID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB := <-ch
+	if spB == nil {
+		t.Fatal("establish failed")
+	}
+	// B runs with a short hold time; A never sends keepalives (no Run).
+	errCh := make(chan error, 1)
+	go func() { errCh <- spB.Run(300*time.Millisecond, nil) }()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("hold-timer expiry should be an error")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("hold timer never fired")
+	}
+	_ = spA
+}

@@ -1,0 +1,278 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"routelab/internal/asn"
+)
+
+// Path attribute type codes (RFC 4271 §4.3, RFC 1997 for COMMUNITIES).
+const (
+	attrOrigin      = 1
+	attrASPath      = 2
+	attrNextHop     = 3
+	attrMED         = 4
+	attrCommunities = 8
+
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// Community is an RFC 1997 community value (asn:value packed 16:16).
+type Community uint32
+
+// MakeCommunity packs asn:value.
+func MakeCommunity(as uint16, value uint16) Community {
+	return Community(uint32(as)<<16 | uint32(value))
+}
+
+// Well-known communities (RFC 1997 §2).
+const (
+	CommunityNoExport    Community = 0xFFFFFF01
+	CommunityNoAdvertise Community = 0xFFFFFF02
+)
+
+// Origin attribute values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// Update is the UPDATE message: withdrawn prefixes, path attributes,
+// and announced NLRI. AS_PATH uses four-octet AS numbers natively.
+type Update struct {
+	Withdrawn []asn.Prefix
+	Origin    uint8
+	ASPath    asn.Path
+	NextHop   asn.Addr
+	// MED is the multi-exit discriminator; HasMED gates its emission
+	// (zero is a legal MED).
+	MED    uint32
+	HasMED bool
+	// Communities carries RFC 1997 community values.
+	Communities []Community
+	NLRI        []asn.Prefix
+}
+
+// Type implements Message.
+func (Update) Type() MsgType { return MsgUpdate }
+
+// Encode implements Message.
+func (u Update) Encode(dst []byte) []byte {
+	dst, lenOff := header(dst, MsgUpdate)
+	// Withdrawn routes.
+	wStart := len(dst)
+	dst = append(dst, 0, 0)
+	for _, p := range u.Withdrawn {
+		dst = appendPrefix(dst, p)
+	}
+	binary.BigEndian.PutUint16(dst[wStart:], uint16(len(dst)-wStart-2))
+	// Path attributes (only when announcing).
+	aStart := len(dst)
+	dst = append(dst, 0, 0)
+	if len(u.NLRI) > 0 {
+		dst = appendAttr(dst, attrOrigin, []byte{u.Origin})
+		dst = appendAttr(dst, attrASPath, encodeASPath(u.ASPath))
+		var nh [4]byte
+		binary.BigEndian.PutUint32(nh[:], uint32(u.NextHop))
+		dst = appendAttr(dst, attrNextHop, nh[:])
+		if u.HasMED {
+			var med [4]byte
+			binary.BigEndian.PutUint32(med[:], u.MED)
+			dst = appendOptAttr(dst, attrMED, med[:])
+		}
+		if len(u.Communities) > 0 {
+			body := make([]byte, 0, 4*len(u.Communities))
+			for _, c := range u.Communities {
+				body = binary.BigEndian.AppendUint32(body, uint32(c))
+			}
+			dst = appendOptAttr(dst, attrCommunities, body)
+		}
+	}
+	binary.BigEndian.PutUint16(dst[aStart:], uint16(len(dst)-aStart-2))
+	for _, p := range u.NLRI {
+		dst = appendPrefix(dst, p)
+	}
+	return finish(dst, lenOff)
+}
+
+func appendAttr(dst []byte, code uint8, body []byte) []byte {
+	return appendAttrFlags(dst, flagTransitive, code, body)
+}
+
+// appendOptAttr writes an optional transitive attribute (MED is
+// formally optional non-transitive; communities optional transitive —
+// the flag nuance is preserved).
+func appendOptAttr(dst []byte, code uint8, body []byte) []byte {
+	flags := uint8(flagOptional)
+	if code == attrCommunities {
+		flags |= flagTransitive
+	}
+	return appendAttrFlags(dst, flags, code, body)
+}
+
+func appendAttrFlags(dst []byte, flags, code uint8, body []byte) []byte {
+	if len(body) > 255 {
+		dst = append(dst, flags|flagExtLen, code)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(body)))
+	} else {
+		dst = append(dst, flags, code, byte(len(body)))
+	}
+	return append(dst, body...)
+}
+
+// appendPrefix writes the RFC 4271 (length, truncated-address) encoding.
+func appendPrefix(dst []byte, p asn.Prefix) []byte {
+	dst = append(dst, p.Len)
+	nBytes := (int(p.Len) + 7) / 8
+	var raw [4]byte
+	binary.BigEndian.PutUint32(raw[:], uint32(p.Addr))
+	return append(dst, raw[:nBytes]...)
+}
+
+// encodeASPath writes segments with four-octet ASNs.
+func encodeASPath(p asn.Path) []byte {
+	var out []byte
+	for _, s := range p.Segments {
+		out = append(out, byte(s.Type), byte(len(s.ASNs)))
+		for _, a := range s.ASNs {
+			out = binary.BigEndian.AppendUint32(out, uint32(a))
+		}
+	}
+	return out
+}
+
+func decodeUpdate(b []byte) (Update, error) {
+	var u Update
+	if len(b) < 2 {
+		return u, ErrShortMessage
+	}
+	wLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < wLen {
+		return u, fmt.Errorf("wire: withdrawn routes truncated")
+	}
+	var err error
+	u.Withdrawn, err = decodePrefixes(b[:wLen])
+	if err != nil {
+		return u, err
+	}
+	b = b[wLen:]
+	if len(b) < 2 {
+		return u, ErrShortMessage
+	}
+	aLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < aLen {
+		return u, fmt.Errorf("wire: path attributes truncated")
+	}
+	if err := u.decodeAttrs(b[:aLen]); err != nil {
+		return u, err
+	}
+	u.NLRI, err = decodePrefixes(b[aLen:])
+	return u, err
+}
+
+func (u *Update) decodeAttrs(b []byte) error {
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return ErrShortMessage
+		}
+		flags, code := b[0], b[1]
+		var alen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return ErrShortMessage
+			}
+			alen, hdr = int(binary.BigEndian.Uint16(b[2:])), 4
+		} else {
+			alen, hdr = int(b[2]), 3
+		}
+		if len(b) < hdr+alen {
+			return fmt.Errorf("wire: attribute %d truncated", code)
+		}
+		body := b[hdr : hdr+alen]
+		switch code {
+		case attrOrigin:
+			if alen != 1 {
+				return errors.New("wire: bad ORIGIN length")
+			}
+			u.Origin = body[0]
+		case attrASPath:
+			p, err := decodeASPath(body)
+			if err != nil {
+				return err
+			}
+			u.ASPath = p
+		case attrNextHop:
+			if alen != 4 {
+				return errors.New("wire: bad NEXT_HOP length")
+			}
+			u.NextHop = asn.Addr(binary.BigEndian.Uint32(body))
+		case attrMED:
+			if alen != 4 {
+				return errors.New("wire: bad MED length")
+			}
+			u.MED = binary.BigEndian.Uint32(body)
+			u.HasMED = true
+		case attrCommunities:
+			if alen%4 != 0 {
+				return errors.New("wire: bad COMMUNITIES length")
+			}
+			for i := 0; i < alen; i += 4 {
+				u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(body[i:])))
+			}
+		default:
+			// Unknown transitive attributes are tolerated.
+		}
+		b = b[hdr+alen:]
+	}
+	return nil
+}
+
+func decodeASPath(b []byte) (asn.Path, error) {
+	var p asn.Path
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return p, ErrShortMessage
+		}
+		st := asn.SegmentType(b[0])
+		if st != asn.Sequence && st != asn.Set {
+			return p, fmt.Errorf("wire: unsupported AS_PATH segment type %d", b[0])
+		}
+		n := int(b[1])
+		if len(b) < 2+4*n {
+			return p, errors.New("wire: AS_PATH segment truncated")
+		}
+		seg := asn.Segment{Type: st}
+		for i := 0; i < n; i++ {
+			seg.ASNs = append(seg.ASNs, asn.ASN(binary.BigEndian.Uint32(b[2+4*i:])))
+		}
+		p.Segments = append(p.Segments, seg)
+		b = b[2+4*n:]
+	}
+	return p, nil
+}
+
+func decodePrefixes(b []byte) ([]asn.Prefix, error) {
+	var out []asn.Prefix
+	for len(b) > 0 {
+		l := b[0]
+		if l > 32 {
+			return nil, fmt.Errorf("wire: prefix length %d", l)
+		}
+		nBytes := (int(l) + 7) / 8
+		if len(b) < 1+nBytes {
+			return nil, errors.New("wire: prefix truncated")
+		}
+		var raw [4]byte
+		copy(raw[:], b[1:1+nBytes])
+		out = append(out, asn.NewPrefix(asn.Addr(binary.BigEndian.Uint32(raw[:])), l))
+		b = b[1+nBytes:]
+	}
+	return out, nil
+}

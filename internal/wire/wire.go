@@ -1,0 +1,238 @@
+// Package wire implements the BGP-4 message formats of RFC 4271 (with
+// four-octet AS numbers per RFC 6793 used natively): OPEN, UPDATE,
+// KEEPALIVE, and NOTIFICATION encoding and decoding over byte slices.
+//
+// routelab uses it to move routes between the simulator and the
+// collector emulation over real TCP connections (package session), so
+// the feed pipeline exercises genuine wire parsing rather than passing
+// Go structs around.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"routelab/internal/asn"
+)
+
+// MsgType is the BGP message type code.
+type MsgType uint8
+
+// RFC 4271 §4.1 message types.
+const (
+	MsgOpen         MsgType = 1
+	MsgUpdate       MsgType = 2
+	MsgNotification MsgType = 3
+	MsgKeepalive    MsgType = 4
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	default:
+		return fmt.Sprintf("type-%d", uint8(t))
+	}
+}
+
+const (
+	// HeaderLen is the fixed BGP header size.
+	HeaderLen = 19
+	// MaxMessageLen caps any BGP message (RFC 4271 §4.1).
+	MaxMessageLen = 4096
+	markerByte    = 0xff
+)
+
+// ErrShortMessage reports a truncated buffer.
+var ErrShortMessage = errors.New("wire: short message")
+
+// ErrBadMarker reports a corrupted synchronization marker.
+var ErrBadMarker = errors.New("wire: bad marker")
+
+// Message is any decodable BGP message.
+type Message interface {
+	Type() MsgType
+	// Encode appends the complete message (header included) to dst.
+	Encode(dst []byte) []byte
+}
+
+// header appends the 19-byte header with a length placeholder and
+// returns the offset of the length field.
+func header(dst []byte, t MsgType) ([]byte, int) {
+	for i := 0; i < 16; i++ {
+		dst = append(dst, markerByte)
+	}
+	lenOff := len(dst)
+	dst = append(dst, 0, 0, byte(t))
+	return dst, lenOff
+}
+
+// finish patches the message length.
+func finish(dst []byte, lenOff int) []byte {
+	binary.BigEndian.PutUint16(dst[lenOff:], uint16(len(dst)-lenOff+16))
+	return dst
+}
+
+// DecodeHeader validates a header and returns the type and TOTAL message
+// length (header included).
+func DecodeHeader(b []byte) (MsgType, int, error) {
+	if len(b) < HeaderLen {
+		return 0, 0, ErrShortMessage
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != markerByte {
+			return 0, 0, ErrBadMarker
+		}
+	}
+	total := int(binary.BigEndian.Uint16(b[16:]))
+	t := MsgType(b[18])
+	if total < HeaderLen || total > MaxMessageLen {
+		return 0, 0, fmt.Errorf("wire: invalid length %d", total)
+	}
+	return t, total, nil
+}
+
+// Decode parses one complete message.
+func Decode(b []byte) (Message, error) {
+	t, total, err := DecodeHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < total {
+		return nil, ErrShortMessage
+	}
+	body := b[HeaderLen:total]
+	switch t {
+	case MsgOpen:
+		return decodeOpen(body)
+	case MsgUpdate:
+		return decodeUpdate(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, errors.New("wire: KEEPALIVE with body")
+		}
+		return Keepalive{}, nil
+	case MsgNotification:
+		return decodeNotification(body)
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
+	}
+}
+
+// Open is the OPEN message. AS numbers are carried four-octet in the
+// capabilities (RFC 6793); the fixed field holds AS_TRANS when needed.
+type Open struct {
+	Version  uint8
+	AS       asn.ASN
+	HoldTime uint16
+	BGPID    uint32
+}
+
+// asTrans is the RFC 6793 placeholder for the two-octet AS field.
+const asTrans = 23456
+
+// Type implements Message.
+func (Open) Type() MsgType { return MsgOpen }
+
+// Encode implements Message.
+func (o Open) Encode(dst []byte) []byte {
+	dst, lenOff := header(dst, MsgOpen)
+	dst = append(dst, o.Version)
+	short := uint16(asTrans)
+	if o.AS <= 0xffff {
+		short = uint16(o.AS)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, short)
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	dst = binary.BigEndian.AppendUint32(dst, o.BGPID)
+	// Optional parameters: one capabilities parameter holding the
+	// four-octet-AS capability (code 65).
+	cap65 := []byte{65, 4, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(cap65[2:], uint32(o.AS))
+	param := append([]byte{2, byte(len(cap65))}, cap65...)
+	dst = append(dst, byte(len(param)))
+	dst = append(dst, param...)
+	return finish(dst, lenOff)
+}
+
+func decodeOpen(b []byte) (Open, error) {
+	var o Open
+	if len(b) < 10 {
+		return o, ErrShortMessage
+	}
+	o.Version = b[0]
+	o.AS = asn.ASN(binary.BigEndian.Uint16(b[1:]))
+	o.HoldTime = binary.BigEndian.Uint16(b[3:])
+	o.BGPID = binary.BigEndian.Uint32(b[5:])
+	optLen := int(b[9])
+	opts := b[10:]
+	if len(opts) != optLen {
+		return o, fmt.Errorf("wire: OPEN optional parameters truncated")
+	}
+	// Scan for the four-octet-AS capability.
+	for len(opts) >= 2 {
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return o, fmt.Errorf("wire: OPEN parameter truncated")
+		}
+		body := opts[2 : 2+plen]
+		if ptype == 2 { // capabilities
+			for len(body) >= 2 {
+				code, clen := body[0], int(body[1])
+				if len(body) < 2+clen {
+					return o, fmt.Errorf("wire: capability truncated")
+				}
+				if code == 65 && clen == 4 {
+					o.AS = asn.ASN(binary.BigEndian.Uint32(body[2:]))
+				}
+				body = body[2+clen:]
+			}
+		}
+		opts = opts[2+plen:]
+	}
+	return o, nil
+}
+
+// Keepalive is the (bodyless) KEEPALIVE message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (Keepalive) Type() MsgType { return MsgKeepalive }
+
+// Encode implements Message.
+func (Keepalive) Encode(dst []byte) []byte {
+	dst, lenOff := header(dst, MsgKeepalive)
+	return finish(dst, lenOff)
+}
+
+// Notification is the NOTIFICATION message.
+type Notification struct {
+	Code, Subcode uint8
+	Data          []byte
+}
+
+// Type implements Message.
+func (Notification) Type() MsgType { return MsgNotification }
+
+// Encode implements Message.
+func (n Notification) Encode(dst []byte) []byte {
+	dst, lenOff := header(dst, MsgNotification)
+	dst = append(dst, n.Code, n.Subcode)
+	dst = append(dst, n.Data...)
+	return finish(dst, lenOff)
+}
+
+func decodeNotification(b []byte) (Notification, error) {
+	if len(b) < 2 {
+		return Notification{}, ErrShortMessage
+	}
+	return Notification{Code: b[0], Subcode: b[1], Data: append([]byte(nil), b[2:]...)}, nil
+}

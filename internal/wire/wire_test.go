@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routelab/internal/asn"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf := m.Encode(nil)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode %s: %v", m.Type(), err)
+	}
+	if got.Type() != m.Type() {
+		t.Fatalf("type mismatch: %v vs %v", got.Type(), m.Type())
+	}
+	return got
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := Open{Version: 4, AS: 64512, HoldTime: 180, BGPID: 0x0a000001}
+	got := roundTrip(t, o).(Open)
+	if got != o {
+		t.Fatalf("got %+v, want %+v", got, o)
+	}
+}
+
+func TestOpenFourOctetAS(t *testing.T) {
+	o := Open{Version: 4, AS: 4200000001, HoldTime: 90, BGPID: 7}
+	buf := o.Encode(nil)
+	// The fixed two-octet field must carry AS_TRANS.
+	body := buf[HeaderLen:]
+	if short := int(body[1])<<8 | int(body[2]); short != asTrans {
+		t.Errorf("two-octet field = %d, want AS_TRANS", short)
+	}
+	got := roundTrip(t, o).(Open)
+	if got.AS != o.AS {
+		t.Fatalf("four-octet AS lost: %v", got.AS)
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	buf := Keepalive{}.Encode(nil)
+	if len(buf) != HeaderLen {
+		t.Fatalf("keepalive length = %d", len(buf))
+	}
+	roundTrip(t, Keepalive{})
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := Notification{Code: 6, Subcode: 2, Data: []byte("bye")}
+	got := roundTrip(t, n).(Notification)
+	if got.Code != 6 || got.Subcode != 2 || string(got.Data) != "bye" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := Update{
+		Withdrawn: []asn.Prefix{mustPfx("10.1.0.0/16")},
+		Origin:    OriginIGP,
+		ASPath: asn.PathFromASNs(65001, 65002).
+			PrependSet([]asn.ASN{64512, 64513}).Prepend(65000),
+		NextHop: asn.AddrFrom4(192, 0, 2, 1),
+		NLRI:    []asn.Prefix{mustPfx("198.51.100.0/24"), mustPfx("203.0.113.0/25")},
+	}
+	got := roundTrip(t, u).(Update)
+	if len(got.Withdrawn) != 1 || got.Withdrawn[0] != u.Withdrawn[0] {
+		t.Errorf("withdrawn: %v", got.Withdrawn)
+	}
+	if !got.ASPath.Equal(u.ASPath) {
+		t.Errorf("as path: %v vs %v", got.ASPath, u.ASPath)
+	}
+	if got.NextHop != u.NextHop || got.Origin != u.Origin {
+		t.Errorf("attrs: %+v", got)
+	}
+	if len(got.NLRI) != 2 || got.NLRI[0] != u.NLRI[0] || got.NLRI[1] != u.NLRI[1] {
+		t.Errorf("nlri: %v", got.NLRI)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	u := Update{Withdrawn: []asn.Prefix{mustPfx("10.0.0.0/8")}}
+	got := roundTrip(t, u).(Update)
+	if len(got.NLRI) != 0 || len(got.Withdrawn) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	if _, _, err := DecodeHeader(make([]byte, 5)); err != ErrShortMessage {
+		t.Error("short buffer must fail")
+	}
+	bad := Keepalive{}.Encode(nil)
+	bad[3] = 0
+	if _, _, err := DecodeHeader(bad); err != ErrBadMarker {
+		t.Error("corrupt marker must fail")
+	}
+	tooLong := Keepalive{}.Encode(nil)
+	tooLong[16], tooLong[17] = 0xff, 0xff
+	if _, _, err := DecodeHeader(tooLong); err == nil {
+		t.Error("oversized message must fail")
+	}
+}
+
+func TestDecodeTruncatedUpdate(t *testing.T) {
+	u := Update{NLRI: []asn.Prefix{mustPfx("10.0.0.0/8")}, ASPath: asn.PathFromASNs(1)}
+	buf := u.Encode(nil)
+	for cut := HeaderLen; cut < len(buf); cut++ {
+		trimmed := make([]byte, cut)
+		copy(trimmed, buf[:cut])
+		if _, err := Decode(trimmed); err == nil {
+			// Patch length so the header passes, body is short.
+			t.Fatalf("truncated at %d decoded successfully", cut)
+		}
+	}
+}
+
+func TestDecodeGarbageBodyDoesNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := Update{NLRI: []asn.Prefix{mustPfx("10.0.0.0/8")}, ASPath: asn.PathFromASNs(1, 2)}.Encode(nil)
+	for i := 0; i < 2000; i++ {
+		buf := append([]byte(nil), base...)
+		// Flip random body bytes; Decode must never panic.
+		for j := 0; j < 3; j++ {
+			buf[HeaderLen+rng.Intn(len(buf)-HeaderLen)] = byte(rng.Intn(256))
+		}
+		_, _ = Decode(buf)
+	}
+}
+
+// Property: any single-sequence path with valid prefixes round-trips.
+func TestUpdateRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nASNs, nPfx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var asns []asn.ASN
+		for i := 0; i < int(nASNs%20)+1; i++ {
+			asns = append(asns, asn.ASN(rng.Uint32()%1e6+1))
+		}
+		u := Update{
+			Origin:  uint8(rng.Intn(3)),
+			ASPath:  asn.PathFromASNs(asns...),
+			NextHop: asn.Addr(rng.Uint32()),
+		}
+		for i := 0; i < int(nPfx%8)+1; i++ {
+			u.NLRI = append(u.NLRI, asn.NewPrefix(asn.Addr(rng.Uint32()), uint8(rng.Intn(33))))
+		}
+		got, err := Decode(u.Encode(nil))
+		if err != nil {
+			return false
+		}
+		gu := got.(Update)
+		if !gu.ASPath.Equal(u.ASPath) || gu.NextHop != u.NextHop || len(gu.NLRI) != len(u.NLRI) {
+			return false
+		}
+		for i := range u.NLRI {
+			if gu.NLRI[i] != u.NLRI[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPfx(s string) asn.Prefix {
+	p, err := asn.ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestUpdateMEDAndCommunities(t *testing.T) {
+	u := Update{
+		Origin:      OriginIGP,
+		ASPath:      asn.PathFromASNs(65000),
+		NextHop:     asn.AddrFrom4(10, 0, 0, 1),
+		MED:         0, // zero MED must still round-trip
+		HasMED:      true,
+		Communities: []Community{MakeCommunity(65000, 120), CommunityNoExport},
+		NLRI:        []asn.Prefix{mustPfx("198.51.100.0/24")},
+	}
+	got := roundTrip(t, u).(Update)
+	if !got.HasMED || got.MED != 0 {
+		t.Errorf("MED = %v/%v", got.MED, got.HasMED)
+	}
+	if len(got.Communities) != 2 || got.Communities[0] != MakeCommunity(65000, 120) ||
+		got.Communities[1] != CommunityNoExport {
+		t.Errorf("communities = %v", got.Communities)
+	}
+}
+
+func TestUpdateWithoutMED(t *testing.T) {
+	u := Update{ASPath: asn.PathFromASNs(1), NextHop: 1, NLRI: []asn.Prefix{mustPfx("10.0.0.0/8")}}
+	got := roundTrip(t, u).(Update)
+	if got.HasMED {
+		t.Error("MED appeared out of nowhere")
+	}
+	if len(got.Communities) != 0 {
+		t.Error("communities appeared out of nowhere")
+	}
+}
+
+func TestMakeCommunity(t *testing.T) {
+	c := MakeCommunity(3356, 70)
+	if uint32(c) != 3356<<16|70 {
+		t.Errorf("MakeCommunity = %x", uint32(c))
+	}
+	if CommunityNoExport != 0xFFFFFF01 {
+		t.Error("well-known NO_EXPORT value drifted")
+	}
+}
