@@ -1,0 +1,26 @@
+# Tier-1 verification for routelab. `make verify` is the gate every
+# change must pass: it builds everything, vets (including the copylocks
+# and concurrency-sensitive checks), and runs the full test suite under
+# the race detector — the concurrency model in DESIGN.md is only
+# trustworthy while this stays green.
+
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

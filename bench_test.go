@@ -31,9 +31,13 @@ import (
 var (
 	benchOnce sync.Once
 	benchScen *scenario.Scenario
+	benchErr  error
 )
 
-// benchScenario builds the shared evaluation scenario once.
+// benchScenario builds the shared evaluation scenario once. The build
+// error (not just its occurrence) is cached alongside the scenario, so
+// every subsequent benchmark reports WHY the build failed instead of
+// skipping silently.
 func benchScenario(b *testing.B) *scenario.Scenario {
 	b.Helper()
 	benchOnce.Do(func() {
@@ -41,14 +45,10 @@ func benchScenario(b *testing.B) *scenario.Scenario {
 		cfg.Topology.Scale = 0.2
 		cfg.NumProbes = 400
 		cfg.TracesTarget = 5000
-		s, err := scenario.Build(cfg, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchScen = s
+		benchScen, benchErr = scenario.Build(cfg, nil)
 	})
-	if benchScen == nil {
-		b.Skip("scenario build failed earlier")
+	if benchErr != nil {
+		b.Skipf("scenario build failed: %v", benchErr)
 	}
 	return benchScen
 }
@@ -134,13 +134,25 @@ func BenchmarkAlternateRoutes(b *testing.B) {
 }
 
 // BenchmarkScenarioBuild measures the end-to-end cost of assembling a
-// (reduced-scale) scenario: topology generation, two full routing
+// (reduced-scale) scenario — topology generation, two full routing
 // convergences, five feed snapshots, inference, and the traceroute
-// campaign.
+// campaign — on the serial reference path (RoutingWorkers=1).
 func BenchmarkScenarioBuild(b *testing.B) {
+	benchmarkScenarioBuild(b, 1)
+}
+
+// BenchmarkScenarioBuildParallel is the same build with the worker pool
+// at GOMAXPROCS; the ratio to BenchmarkScenarioBuild is the end-to-end
+// parallel speedup.
+func BenchmarkScenarioBuildParallel(b *testing.B) {
+	benchmarkScenarioBuild(b, 0)
+}
+
+func benchmarkScenarioBuild(b *testing.B, workers int) {
 	cfg := scenario.TestConfig()
 	cfg.NumProbes = 120
 	cfg.TracesTarget = 1200
+	cfg.RoutingWorkers = workers
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		if _, err := scenario.Build(cfg, nil); err != nil {

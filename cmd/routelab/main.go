@@ -17,7 +17,11 @@
 //	-scale F    topology scale factor (default 1.0; 0.1 is fast)
 //	-traces N   traceroute campaign size (default 28510)
 //	-probes N   selected probe count (default 1998)
+//	-workers N  parallel routing workers (default 0 = GOMAXPROCS; 1 = serial)
 //	-quiet      suppress build progress
+//
+// Output is byte-identical for any -workers value; the flag only trades
+// wall-clock for cores (see internal/parallel).
 package main
 
 import (
@@ -31,11 +35,12 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 2015, "master seed")
-		scale  = flag.Float64("scale", 1.0, "topology scale factor")
-		traces = flag.Int("traces", 28510, "traceroute campaign size")
-		probes = flag.Int("probes", 1998, "selected probe count")
-		quiet  = flag.Bool("quiet", false, "suppress build progress")
+		seed    = flag.Int64("seed", 2015, "master seed")
+		scale   = flag.Float64("scale", 1.0, "topology scale factor")
+		traces  = flag.Int("traces", 28510, "traceroute campaign size")
+		probes  = flag.Int("probes", 1998, "selected probe count")
+		workers = flag.Int("workers", 0, "parallel routing workers (0 = all cores, 1 = serial)")
+		quiet   = flag.Bool("quiet", false, "suppress build progress")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: routelab [flags] <experiment>\nexperiments: %v\nflags:\n",
@@ -54,6 +59,7 @@ func main() {
 	cfg.Topology.Scale = *scale
 	cfg.TracesTarget = *traces
 	cfg.NumProbes = *probes
+	cfg.RoutingWorkers = *workers
 	if *scale < 0.5 {
 		// Small topologies have proportionally fewer probes available.
 		cfg.NumProbes = int(float64(cfg.NumProbes) * *scale * 2)

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	topogen [-seed N] [-scale F] [-rels FILE] [-feed FILE] [-peers N]
+//	topogen [-seed N] [-scale F] [-rels FILE] [-feed FILE] [-peers N] [-workers N]
 //
 // The serial file can be diffed against an inferred graph; the feed
 // file is what cmd/mrtdump inspects and what inference consumes.
+// -workers bounds the per-prefix convergence pool behind -feed
+// (0 = all cores, 1 = serial); the snapshot is byte-identical either way.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 		relsPath = flag.String("rels", "", "write ground-truth relationships (serial-1) here")
 		feedPath = flag.String("feed", "", "converge routing and write a monitor snapshot (MRT) here")
 		peers    = flag.Int("peers", 30, "feed peers for -feed")
+		workers  = flag.Int("workers", 0, "parallel routing workers for -feed (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -66,7 +69,7 @@ func main() {
 	if *feedPath != "" {
 		fmt.Fprintln(os.Stderr, "converging routing for the feed snapshot...")
 		engine := bgp.New(topo, *seed)
-		rib := engine.ComputeFullRIB(0)
+		rib := engine.ComputeFullRIB(*workers)
 		vps := vantage.SelectPeers(topo, rand.New(rand.NewSource(*seed)), *peers)
 		snap := vantage.Collect(rib, vps, 0)
 		f, err := os.Create(*feedPath)

@@ -1,11 +1,10 @@
 package bgp
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
 	"routelab/internal/asn"
+	"routelab/internal/parallel"
 )
 
 // RIB holds converged best routes for a set of prefixes — the global
@@ -35,34 +34,19 @@ func (e *Engine) ComputePrefix(p asn.Prefix) map[asn.ASN]Route {
 	return c.Routes()
 }
 
-// ComputeRIB converges every given prefix (in parallel across prefixes;
-// each per-prefix computation is single-threaded and deterministic) and
-// assembles the global RIB. workers <= 0 selects GOMAXPROCS.
+// ComputeRIB converges every given prefix and assembles the global RIB.
+// Per-prefix computations run concurrently (each one is single-threaded
+// and deterministic; the engine and topology are read-only), and results
+// are merged at the barrier in input-prefix order, so the RIB is
+// byte-identical for any worker count. workers <= 0 selects GOMAXPROCS.
 func (e *Engine) ComputeRIB(prefixes []asn.Prefix, workers int) *RIB {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	rib := &RIB{routes: make(map[asn.Prefix]map[asn.ASN]Route, len(prefixes))}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	work := make(chan asn.Prefix)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range work {
-				routes := e.ComputePrefix(p)
-				mu.Lock()
-				rib.routes[p] = routes
-				mu.Unlock()
-			}
-		}()
+	perPrefix := parallel.Map(prefixes, workers, func(_ int, p asn.Prefix) map[asn.ASN]Route {
+		return e.ComputePrefix(p)
+	})
+	for i, p := range prefixes {
+		rib.routes[p] = perPrefix[i]
 	}
-	for _, p := range prefixes {
-		work <- p
-	}
-	close(work)
-	wg.Wait()
 	rib.indexPrefixes()
 	return rib
 }

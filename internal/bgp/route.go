@@ -5,6 +5,26 @@
 // tie-breaking, route age, router ID), RFC 4271 loop prevention (which is
 // what makes BGP poisoning work), and incremental reconvergence so the
 // PEERING experiments can change announcements mid-flight.
+//
+// # Concurrency contract
+//
+// The package splits state into three tiers (documented in detail in
+// DESIGN.md §"Concurrency model"):
+//
+//   - Engine is immutable after New — its dense indexes are built
+//     eagerly in the constructor, it holds no lazy caches — so any
+//     number of goroutines may share one Engine: Topology, NewComputation,
+//     ComputePrefix, ComputeRIB, and the policy helpers are all safe to
+//     call concurrently.
+//   - Computation is single-owner mutable state. Announce, Withdraw,
+//     Converge, and the query methods (Best, Step, Alternatives, Routes)
+//     must all be called from the goroutine that owns the computation.
+//     Independent Computations (different prefixes, or even the same
+//     prefix twice) never share mutable state and may run concurrently.
+//   - RIB is immutable once ComputeRIB returns; concurrent readers are
+//     safe. Its contents are byte-identical for any worker count because
+//     each prefix's computation is self-contained and the merge is done
+//     in input-prefix order (see internal/parallel).
 package bgp
 
 import (

@@ -8,6 +8,8 @@
 package classify
 
 import (
+	"sync"
+
 	"routelab/internal/asn"
 	"routelab/internal/complexrel"
 	"routelab/internal/gaorexford"
@@ -134,6 +136,13 @@ type Decision struct {
 
 // Context bundles every dataset the classification consumes. All fields
 // are measurement-plane artifacts; none reads routing ground truth.
+//
+// The exported datasets are read-only after assembly; the only mutable
+// state is the pair of internal model caches, which are guarded by a
+// mutex. Classify, Breakdown, and the other judging methods are
+// therefore safe for concurrent use — on a cache miss two goroutines
+// may both compute the (deterministic, identical) model result and one
+// copy wins, so parallel classification stays byte-identical to serial.
 type Context struct {
 	// Graph is the aggregated inferred relationship graph (the CAIDA
 	// stand-in).
@@ -154,6 +163,11 @@ type Context struct {
 	// CableASes is the TeleGeography-style undersea-cable AS list.
 	CableASes map[asn.ASN]bool
 
+	// cacheMu guards the two model caches below. Model results are
+	// deterministic functions of (Graph, key), so the lock is released
+	// during computation: racing goroutines may duplicate work but
+	// never disagree.
+	cacheMu  sync.Mutex
 	grCache  map[asn.ASN]*gaorexford.Result
 	pspCache map[pspKey]*gaorexford.Result
 }
@@ -167,40 +181,56 @@ type pspKey struct {
 // relationship graph (fresh model caches). The ablation experiments use
 // it to re-score the same decisions under alternative inferences.
 func (cx *Context) WithGraph(g *relgraph.Graph) *Context {
-	cp := *cx
-	cp.Graph = g
-	cp.grCache = nil
-	cp.pspCache = nil
-	return &cp
+	// Field-by-field copy: the receiver's mutex and caches must not be
+	// carried over (and a struct copy would race with concurrent users).
+	return &Context{
+		Graph:            g,
+		Siblings:         cx.Siblings,
+		Complex:          cx.Complex,
+		OriginEvidence:   cx.OriginEvidence,
+		EdgeEverAtOrigin: cx.EdgeEverAtOrigin,
+		Registry:         cx.Registry,
+		World:            cx.World,
+		CableASes:        cx.CableASes,
+	}
+}
+
+// cachedModel returns the cached result under key when present, or runs
+// compute outside the lock and installs the result (first writer wins).
+func cachedModel[K comparable](cx *Context, cache *map[K]*gaorexford.Result, key K, compute func() *gaorexford.Result) *gaorexford.Result {
+	cx.cacheMu.Lock()
+	if *cache == nil {
+		*cache = make(map[K]*gaorexford.Result)
+	}
+	if r, ok := (*cache)[key]; ok {
+		cx.cacheMu.Unlock()
+		return r
+	}
+	cx.cacheMu.Unlock()
+	r := compute()
+	cx.cacheMu.Lock()
+	defer cx.cacheMu.Unlock()
+	if prev, ok := (*cache)[key]; ok {
+		return prev
+	}
+	(*cache)[key] = r
+	return r
 }
 
 // gr returns (cached) model results toward a destination on the plain
 // graph.
 func (cx *Context) gr(dst asn.ASN) *gaorexford.Result {
-	if cx.grCache == nil {
-		cx.grCache = make(map[asn.ASN]*gaorexford.Result)
-	}
-	if r, ok := cx.grCache[dst]; ok {
-		return r
-	}
-	r := gaorexford.Compute(cx.Graph, dst)
-	cx.grCache[dst] = r
-	return r
+	return cachedModel(cx, &cx.grCache, dst, func() *gaorexford.Result {
+		return gaorexford.Compute(cx.Graph, dst)
+	})
 }
 
 // grPSP returns model results with the §4.3 origin-edge masking applied
 // for a prefix.
 func (cx *Context) grPSP(dst asn.ASN, prefix asn.Prefix, criteria int) *gaorexford.Result {
-	if cx.pspCache == nil {
-		cx.pspCache = make(map[pspKey]*gaorexford.Result)
-	}
-	key := pspKey{prefix, criteria}
-	if r, ok := cx.pspCache[key]; ok {
-		return r
-	}
-	r := gaorexford.Compute(cx.Graph, dst, cx.MaskedEdges(dst, prefix, criteria)...)
-	cx.pspCache[key] = r
-	return r
+	return cachedModel(cx, &cx.pspCache, pspKey{prefix, criteria}, func() *gaorexford.Result {
+		return gaorexford.Compute(cx.Graph, dst, cx.MaskedEdges(dst, prefix, criteria)...)
+	})
 }
 
 // MaskedEdges returns the origin edges the PSP criteria drop for a

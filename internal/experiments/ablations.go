@@ -9,6 +9,7 @@ import (
 	"routelab/internal/classify"
 	"routelab/internal/geo"
 	"routelab/internal/inference"
+	"routelab/internal/parallel"
 	"routelab/internal/relgraph"
 	"routelab/internal/report"
 	"routelab/internal/scenario"
@@ -78,26 +79,38 @@ func probeSelectionAblation(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
 
 // thresholdAblation sweeps the inference visibility threshold and
 // reports the inferred edge count and the downstream Best/Short share.
+// Each threshold re-infers and reclassifies the whole dataset
+// independently, so the sweep fans out across the worker pool; rows are
+// rendered in sweep order either way.
 func thresholdAblation(w io.Writer, s *scenario.Scenario) {
 	t := report.NewTable("Ablation: inference visibility threshold",
 		"Threshold", "Edges", "Best/Short%")
 	ds := s.Decisions()
-	for _, th := range []float64{0.1, 0.2, 0.3, 0.5} {
-		cfg := inference.DefaultConfig()
-		cfg.VisibilityThreshold = th
-		cfg.SameOrg = s.Siblings.SameOrg
-		gs := make([]*relgraph.Graph, 0, len(s.Snapshots))
-		for _, snap := range s.Snapshots {
-			gs = append(gs, inference.InferSnapshot(snap, cfg))
-		}
-		g := inference.Aggregate(gs)
-		cx := s.Context.WithGraph(g)
-		bd := cx.Breakdown(ds, classify.Simple)
-		total := 0
-		for _, n := range bd {
-			total += n
-		}
-		t.Row(fmt.Sprintf("%.1f", th), g.NumEdges(), stats.Pct(bd[classify.BestShort], total))
+	thresholds := []float64{0.1, 0.2, 0.3, 0.5}
+	type sweepRow struct {
+		edges int
+		pct   float64
+	}
+	rows := parallel.Map(thresholds, s.Cfg.RoutingWorkers,
+		func(_ int, th float64) sweepRow {
+			cfg := inference.DefaultConfig()
+			cfg.VisibilityThreshold = th
+			cfg.SameOrg = s.Siblings.SameOrg
+			gs := make([]*relgraph.Graph, 0, len(s.Snapshots))
+			for _, snap := range s.Snapshots {
+				gs = append(gs, inference.InferSnapshot(snap, cfg))
+			}
+			g := inference.Aggregate(gs)
+			cx := s.Context.WithGraph(g)
+			bd := cx.Breakdown(ds, classify.Simple)
+			total := 0
+			for _, n := range bd {
+				total += n
+			}
+			return sweepRow{edges: g.NumEdges(), pct: stats.Pct(bd[classify.BestShort], total)}
+		})
+	for i, th := range thresholds {
+		t.Row(fmt.Sprintf("%.1f", th), rows[i].edges, rows[i].pct)
 	}
 	t.Note("too low mislabels transit as peering; too high invents transit from thin evidence")
 	t.Render(w)

@@ -15,6 +15,7 @@ import (
 	"routelab/internal/atlas"
 	"routelab/internal/classify"
 	"routelab/internal/geo"
+	"routelab/internal/parallel"
 	"routelab/internal/report"
 	"routelab/internal/scenario"
 	"routelab/internal/stats"
@@ -62,7 +63,11 @@ func Table1(w io.Writer, s *scenario.Scenario) {
 }
 
 // Figure1 reports the decision breakdown across the refinement columns
-// (paper §4, Figure 1).
+// (paper §4, Figure 1). The seven columns are classified concurrently
+// (each refinement is an independent pass over the decision set, sharing
+// only classify.Context's synchronized model caches) and rendered in the
+// fixed Refinements order, so the figure bytes do not depend on the
+// worker count.
 func Figure1(w io.Writer, s *scenario.Scenario) {
 	ds := s.Decisions()
 	bars := report.NewStackedBars(
@@ -71,8 +76,12 @@ func Figure1(w io.Writer, s *scenario.Scenario) {
 		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
 	t := report.NewTable("Figure 1 (numeric)", "Refinement",
 		"Best/Short%", "NonBest/Short%", "Best/Long%", "NonBest/Long%")
-	for _, ref := range classify.Refinements {
-		bd := s.Context.Breakdown(ds, ref)
+	breakdowns := parallel.Map(classify.Refinements, s.Cfg.RoutingWorkers,
+		func(_ int, ref classify.Refinement) map[classify.Category]int {
+			return s.Context.Breakdown(ds, ref)
+		})
+	for ri, ref := range classify.Refinements {
+		bd := breakdowns[ri]
 		total := 0
 		for _, n := range bd {
 			total += n

@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		var counts [n]atomic.Int32
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndOversizedPool(t *testing.T) {
+	ForEach(0, 8, func(int) { t.Fatal("fn called for n=0") })
+	ran := 0
+	ForEach(1, 64, func(i int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("ran=%d", ran)
+	}
+}
+
+// Map must return results in input order regardless of worker count —
+// the stable merge the determinism contract promises.
+func TestMapStableOrder(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i * 3
+	}
+	serial := Map(items, 1, func(i, v int) int { return v*v + i })
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(items, workers, func(i, v int) int { return v*v + i })
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in worker was swallowed")
+		}
+	}()
+	ForEach(100, 4, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"routelab/internal/asn"
 	"routelab/internal/bgp"
 	"routelab/internal/classify"
+	"routelab/internal/parallel"
 	"routelab/internal/peering"
 	"routelab/internal/traceroute"
 	"routelab/internal/vantage"
@@ -61,9 +62,15 @@ func (s *Scenario) RunMagnetCampaign(rng *rand.Rand) MagnetCampaign {
 		m[r.NextHop] = true
 	}
 
-	for mi := range s.Testbed.Muxes {
-		res := s.Testbed.Magnet(prefix, mi, observe)
-		campaign.Runs = append(campaign.Runs, res)
+	// One magnet run per mux, each over its own bgp.Computation — fan
+	// out, then do the order-sensitive visibility marking serially over
+	// the merged runs (in mux order, same as the serial path).
+	campaign.Runs = parallel.Map(s.Testbed.Muxes, s.Cfg.RoutingWorkers,
+		func(mi int, _ asn.ASN) peering.MagnetResult {
+			return s.Testbed.Magnet(prefix, mi, observe)
+		})
+	for ri := range campaign.Runs {
+		res := campaign.Runs[ri]
 		// Determine per-channel visibility from the post-anycast state:
 		// feed channel sees ASes on feed-peer paths; trace channel sees
 		// ASes on data-plane paths from the active probes.
@@ -206,18 +213,19 @@ func (s *Scenario) activeProbeSet(rng *rand.Rand) []asn.ASN {
 
 // RunAlternatesCampaign discovers alternate routes for every AS observed
 // on paths toward the PEERING prefixes (§3.2/§4.4), up to the configured
-// cap.
+// cap. Each target's poisoning loop runs over its own computation, so
+// targets fan out across the worker pool; the result slice follows the
+// sorted target order regardless of worker count.
 func (s *Scenario) RunAlternatesCampaign(rng *rand.Rand) []peering.AlternateResult {
 	prefix := s.Testbed.Prefixes[0]
 	targets := s.observedTargets(rng, prefix)
 	if limit := s.Cfg.MaxAlternateTargets; limit > 0 && len(targets) > limit {
 		targets = targets[:limit]
 	}
-	var runs []peering.AlternateResult
-	for _, t := range targets {
-		runs = append(runs, s.Testbed.DiscoverAlternates(prefix, t))
-	}
-	return runs
+	return parallel.Map(targets, s.Cfg.RoutingWorkers,
+		func(_ int, t asn.ASN) peering.AlternateResult {
+			return s.Testbed.DiscoverAlternates(prefix, t)
+		})
 }
 
 // observedTargets lists ASes seen on paths toward a PEERING prefix from

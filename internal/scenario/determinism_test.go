@@ -1,0 +1,69 @@
+// External test package: the byte-identity half of the test renders via
+// internal/experiments, which itself imports scenario.
+package scenario_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"routelab/internal/experiments"
+	"routelab/internal/scenario"
+)
+
+// TestBuildDeterministicAcrossWorkerCounts is the concurrency model's
+// load-bearing guarantee (DESIGN.md "Concurrency model"): the same
+// configuration built with the serial reference path (RoutingWorkers=1)
+// and with a wide worker pool must produce identical results — the same
+// routing decisions, the same RIB, and byte-identical rendered output.
+func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the scenario twice")
+	}
+	build := func(workers int) *scenario.Scenario {
+		cfg := scenario.TestConfig()
+		cfg.RoutingWorkers = workers
+		s, err := scenario.Build(cfg, nil)
+		if err != nil {
+			t.Fatalf("Build(workers=%d): %v", workers, err)
+		}
+		return s
+	}
+	serial := build(1)
+	wide := build(8)
+
+	if got, want := len(wide.Measurements), len(serial.Measurements); got != want {
+		t.Fatalf("measurement count: workers=8 got %d, workers=1 got %d", got, want)
+	}
+	if !reflect.DeepEqual(serial.Decisions(), wide.Decisions()) {
+		t.Error("decisions differ between workers=1 and workers=8")
+	}
+
+	sp, wp := serial.RIB.Prefixes(), wide.RIB.Prefixes()
+	if !reflect.DeepEqual(sp, wp) {
+		t.Fatalf("RIB prefix sets differ: %d vs %d prefixes", len(sp), len(wp))
+	}
+	for _, p := range sp {
+		if !reflect.DeepEqual(serial.RIB.RoutesFor(p), wide.RIB.RoutesFor(p)) {
+			t.Errorf("RIB routes for %v differ between worker counts", p)
+		}
+	}
+
+	// The end-to-end guarantee: rendered experiment output is
+	// byte-identical (Figure 1 itself classifies in parallel, so this
+	// also exercises the classify cache under concurrency).
+	for _, render := range []struct {
+		name string
+		run  func(*bytes.Buffer, *scenario.Scenario)
+	}{
+		{"table1", func(b *bytes.Buffer, s *scenario.Scenario) { experiments.Table1(b, s) }},
+		{"figure1", func(b *bytes.Buffer, s *scenario.Scenario) { experiments.Figure1(b, s) }},
+	} {
+		var a, b bytes.Buffer
+		render.run(&a, serial)
+		render.run(&b, wide)
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s output differs between workers=1 and workers=8", render.name)
+		}
+	}
+}

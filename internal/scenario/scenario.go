@@ -6,6 +6,24 @@
 //
 // Building a full-scale scenario is expensive (two full RIB
 // computations); experiments share one Scenario instance.
+//
+// # Concurrency
+//
+// Build runs its independent units of work — per-prefix convergence,
+// per-probe traceroute generation, per-snapshot inference — through
+// internal/parallel, bounded by Config.RoutingWorkers; the active
+// campaigns (RunMagnetCampaign per mux, RunAlternatesCampaign per
+// target) do the same. Results are merged in a stable order, so a build
+// is byte-identical for any worker count. Every stage that consumes the
+// build's master rand.Rand does so serially, BEFORE fanning out (the
+// campaign derives one seed per probe up front); worker functions only
+// read the sealed topology, the engine, and the immutable RIB.
+//
+// A built Scenario is read-only and safe for concurrent readers, with
+// one exception: methods taking a *rand.Rand (Campaign,
+// RunMagnetCampaign, RunAlternatesCampaign, ActiveTraceroutes) mutate
+// that rand and must not share it across goroutines. Context's model
+// caches are internally synchronized (see classify.Context).
 package scenario
 
 import (
@@ -21,6 +39,7 @@ import (
 	"routelab/internal/inference"
 	"routelab/internal/ipasmap"
 	"routelab/internal/lookingglass"
+	"routelab/internal/parallel"
 	"routelab/internal/peering"
 	"routelab/internal/relgraph"
 	"routelab/internal/siblings"
@@ -33,6 +52,14 @@ import (
 type Config struct {
 	Seed     int64
 	Topology topology.Config
+
+	// RoutingWorkers bounds the worker pool behind every parallel stage
+	// of the build and the active campaigns (per-prefix convergence,
+	// per-probe traceroutes, per-snapshot inference, per-mux magnet
+	// runs, per-target alternate discovery). <= 0 selects GOMAXPROCS;
+	// 1 forces the serial reference path. The output is byte-identical
+	// for any value — see internal/parallel for the contract.
+	RoutingWorkers int
 
 	// NumVantagePeers is the monitor feed count per epoch.
 	NumVantagePeers int
@@ -139,18 +166,20 @@ func Build(cfg Config, logf Logf) (*Scenario, error) {
 	logf("  %d ASes, %d links, %d prefixes",
 		s.Topo.NumASes(), s.Topo.NumLinks(), len(s.Topo.OriginatedPrefixes()))
 
-	logf("converging historical epoch routing")
+	workers := parallel.Workers(cfg.RoutingWorkers)
+	logf("converging historical epoch routing (%d workers)", workers)
 	topoHist := s.Topo.Restored()
-	ribHist := bgp.New(topoHist, cfg.Seed).ComputeFullRIB(0)
-	logf("converging current epoch routing")
-	s.RIB = s.Engine.ComputeFullRIB(0)
+	ribHist := bgp.New(topoHist, cfg.Seed).ComputeFullRIB(cfg.RoutingWorkers)
+	logf("converging current epoch routing (%d workers)", workers)
+	s.RIB = s.Engine.ComputeFullRIB(cfg.RoutingWorkers)
 
 	s.Siblings = siblings.Infer(s.Topo.Registry, s.Topo.DNS)
 
 	logf("collecting %d monitor snapshots", cfg.HistoricEpochs+cfg.CurrentEpochs)
 	infCfg := inference.DefaultConfig()
 	infCfg.SameOrg = s.Siblings.SameOrg
-	var graphs []*relgraph.Graph
+	// Collection consumes the shared rng, so it stays serial; the
+	// per-snapshot inference is independent and fans out below.
 	for epoch := 0; epoch < cfg.HistoricEpochs+cfg.CurrentEpochs; epoch++ {
 		src := ribHist
 		topoFor := topoHist
@@ -161,8 +190,11 @@ func Build(cfg Config, logf Logf) (*Scenario, error) {
 		peers := vantage.SelectPeers(topoFor, rng, cfg.NumVantagePeers)
 		snap := vantage.Collect(src, peers, epoch)
 		s.Snapshots = append(s.Snapshots, snap)
-		graphs = append(graphs, inference.InferSnapshot(snap, infCfg))
 	}
+	graphs := parallel.Map(s.Snapshots, cfg.RoutingWorkers,
+		func(_ int, snap *vantage.Snapshot) *relgraph.Graph {
+			return inference.InferSnapshot(snap, infCfg)
+		})
 	s.Inferred = inference.Aggregate(graphs)
 	logf("  inferred graph: %d edges", s.Inferred.NumEdges())
 
@@ -248,6 +280,12 @@ func (s *Scenario) runCampaign(rng *rand.Rand) error {
 // Campaign runs a traceroute campaign from an arbitrary probe set (the
 // ablation experiments re-run it with alternative probe selections) and
 // returns the usable measurements plus the raw trace count.
+//
+// Probes measure independently, so the campaign fans out one probe per
+// worker. Determinism survives the fan-out because the shared rng is
+// consumed serially, up front: one derived seed per probe, each worker
+// owning its own rand.Rand. Trace IDs are renumbered into one global
+// sequence at the merge barrier, in probe order.
 func (s *Scenario) Campaign(probes []atlas.Probe, target int, rng *rand.Rand) ([]classify.Measurement, int, error) {
 	hostnames := s.Topo.DNS.Hostnames()
 	if len(hostnames) == 0 {
@@ -264,26 +302,49 @@ func (s *Scenario) Campaign(probes []atlas.Probe, target int, rng *rand.Rand) ([
 		perProbe = len(hostnames)
 	}
 	tracer := traceroute.New(s.Topo, s.RIB, s.Cfg.Traceroute)
-	var out []classify.Measurement
-	issued := 0
-	for _, probe := range probes {
+	seeds := make([]int64, len(probes))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	type probeRun struct {
+		ms []classify.Measurement
+		// issued counts this probe's resolved traces; measurements carry
+		// their probe-local issue number in TraceID until the merge.
+		issued int
+	}
+	runs := parallel.Map(probes, s.Cfg.RoutingWorkers, func(i int, probe atlas.Probe) probeRun {
+		prng := rand.New(rand.NewSource(seeds[i]))
 		upstreams := s.upstreamsOf(probe.AS)
 		probeCont := s.Topo.World.ContinentOf(probe.City)
-		order := rng.Perm(len(hostnames))[:perProbe]
-		for _, hi := range order {
+		var run probeRun
+		for _, hi := range prng.Perm(len(hostnames))[:perProbe] {
 			h := hostnames[hi]
-			ans, err := s.Topo.DNS.Resolve(h.Name, probe.AS, probeCont, upstreams, rng)
+			ans, err := s.Topo.DNS.Resolve(h.Name, probe.AS, probeCont, upstreams, prng)
 			if err != nil {
 				continue
 			}
-			issued++
+			run.issued++
 			tr := tracer.Trace(probe.AS, probe.City, ans.Addr)
-			m, ok := classify.Extract(issued, tr, s.Mapper, s.GeoDB)
+			m, ok := classify.Extract(run.issued, tr, s.Mapper, s.GeoDB)
 			if !ok {
 				continue
 			}
+			run.ms = append(run.ms, m)
+		}
+		return run
+	})
+	var out []classify.Measurement
+	issued := 0
+	for _, run := range runs {
+		for _, m := range run.ms {
+			id := issued + m.TraceID
+			m.TraceID = id
+			for j := range m.Decisions {
+				m.Decisions[j].TraceID = id
+			}
 			out = append(out, m)
 		}
+		issued += run.issued
 	}
 	return out, issued, nil
 }

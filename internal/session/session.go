@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"routelab/internal/asn"
@@ -25,7 +26,11 @@ type Speaker struct {
 	r        *bufio.Reader
 	LocalAS  asn.ASN
 	RemoteAS asn.ASN
-	buf      []byte
+	// sendMu serializes encode+write: Run's keepalive goroutine sends
+	// concurrently with the owner's UPDATEs/NOTIFICATIONs, and BGP
+	// messages must not interleave on the wire.
+	sendMu sync.Mutex
+	buf    []byte
 }
 
 // Config identifies the local end.
@@ -92,6 +97,8 @@ func Establish(conn net.Conn, cfg Config) (*Speaker, error) {
 
 // send encodes and writes one message.
 func (s *Speaker) send(m wire.Message) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
 	s.buf = m.Encode(s.buf[:0])
 	_, err := s.conn.Write(s.buf)
 	return err

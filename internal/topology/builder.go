@@ -128,5 +128,10 @@ func (b *Builder) Retire(x, y asn.ASN) {
 // Name registers a scenario handle.
 func (b *Builder) Name(name string, a asn.ASN) { b.topo.Names[name] = a }
 
-// Build finalizes and returns the topology.
-func (b *Builder) Build() *Topology { return b.topo }
+// Build seals and returns the topology: it is read-only from here on
+// (mutators panic), which makes it safe to share across goroutines.
+// Build is idempotent; builder methods must not be called after it.
+func (b *Builder) Build() *Topology {
+	b.topo.seal()
+	return b.topo
+}

@@ -181,6 +181,7 @@ func Generate(seed int64, cfg Config) *Topology {
 	g.applySelectiveExport()
 	g.makeContentHosting(contents)
 	g.retireLinks()
+	g.topo.seal()
 	return g.topo
 }
 

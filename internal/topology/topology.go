@@ -10,8 +10,12 @@ import (
 	"routelab/internal/registry"
 )
 
-// Topology is the ground-truth Internet. It is immutable after
-// generation; concurrent readers are safe.
+// Topology is the ground-truth Internet. It is explicitly read-only
+// after build: Generate, Builder.Build, and Restored seal the topology,
+// after which every mutator panics. Sealing is what lets the routing
+// engine, the traceroute simulator, and every parallel stage (see
+// internal/parallel) share one Topology across goroutines with no
+// locking — concurrent readers are always safe on a sealed topology.
 type Topology struct {
 	World    *geo.World
 	Registry *registry.Registry
@@ -42,6 +46,9 @@ type Topology struct {
 	// snapshots may still believe in them (the paper's stale
 	// AS3549–Netflix link). They are NOT part of current routing.
 	RetiredLinks []*Link
+
+	// sealed marks the topology read-only; see seal.
+	sealed bool
 }
 
 // newTopology returns an empty topology bound to its substrates.
@@ -61,8 +68,25 @@ func newTopology(w *geo.World, reg *registry.Registry, dns *dnsdb.DB) *Topology 
 	}
 }
 
+// seal marks the topology read-only. Every construction path (Generate,
+// Builder.Build, Restored) calls it exactly once; after that, mutators
+// panic, which is what makes lock-free concurrent reads sound.
+func (t *Topology) seal() { t.sealed = true }
+
+// mutable panics when the topology is sealed. Every generator-only
+// mutator calls it first, turning a would-be data race into a loud,
+// deterministic failure at the mutation site.
+func (t *Topology) mutable(op string) {
+	if t.sealed {
+		panic("topology: " + op + " on a sealed topology (read-only after build)")
+	}
+}
+
 // MarkContentPrefix tags a prefix as content-serving. Generator-only.
-func (t *Topology) MarkContentPrefix(p asn.Prefix) { t.contentPrefix[p] = true }
+func (t *Topology) MarkContentPrefix(p asn.Prefix) {
+	t.mutable("MarkContentPrefix")
+	t.contentPrefix[p] = true
+}
 
 // IsContentPrefix reports whether the prefix serves content traffic
 // (a major provider's serving space or a hosted cache).
@@ -76,7 +100,10 @@ func (t *Topology) IsContentPrefix(p asn.Prefix) bool {
 
 // PinPrefix anchors a prefix's hosts to a city (a regional serving
 // prefix). Generator-only.
-func (t *Topology) PinPrefix(p asn.Prefix, c geo.CityID) { t.prefixCity[p] = c }
+func (t *Topology) PinPrefix(p asn.Prefix, c geo.CityID) {
+	t.mutable("PinPrefix")
+	t.prefixCity[p] = c
+}
 
 // CityOfPrefix returns the pinned city of a prefix, or 0.
 func (t *Topology) CityOfPrefix(p asn.Prefix) geo.CityID { return t.prefixCity[p] }
@@ -84,6 +111,7 @@ func (t *Topology) CityOfPrefix(p asn.Prefix) geo.CityID { return t.prefixCity[p
 // addAS inserts an AS; panics on duplicates (generator bug, not runtime
 // condition).
 func (t *Topology) addAS(a *AS) {
+	t.mutable("addAS")
 	if _, dup := t.ases[a.ASN]; dup {
 		panic(fmt.Sprintf("topology: duplicate %s", a.ASN))
 	}
@@ -99,6 +127,7 @@ func (t *Topology) addAS(a *AS) {
 
 // addLink inserts a link and indexes both neighbor lists.
 func (t *Topology) addLink(l *Link) {
+	t.mutable("addLink")
 	if l.Lo > l.Hi {
 		panic("topology: link endpoints not canonical")
 	}
@@ -142,6 +171,7 @@ func (t *Topology) Restored() *Topology {
 	for _, l := range all {
 		h.addLink(l)
 	}
+	h.seal()
 	return h
 }
 
@@ -149,6 +179,7 @@ func (t *Topology) Restored() *Topology {
 // neighbor entries consistent. Generator-only; the topology is immutable
 // once Generate returns.
 func (t *Topology) setLinkRole(l *Link, hiRole Rel) {
+	t.mutable("setLinkRole")
 	l.HiRole = hiRole
 	fix := func(owner, other asn.ASN, role Rel) {
 		ns := t.neighbors[owner]
