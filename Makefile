@@ -2,11 +2,13 @@
 # change must pass: it builds everything, vets (including the copylocks
 # and concurrency-sensitive checks), and runs the full test suite under
 # the race detector — the concurrency model in DESIGN.md is only
-# trustworthy while this stays green.
+# trustworthy while this stays green. CI (.github/workflows/ci.yml)
+# runs verify plus lint, cover, and bench-smoke on every push/PR.
 
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: verify build vet test race bench
+.PHONY: verify build vet test race bench bench-smoke lint cover
 
 verify: build vet race
 
@@ -24,3 +26,22 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-smoke is CI's one-iteration sweep: it exercises every benchmark
+# once and validates the machine-readable BENCH_routelab.json emission.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) run ./cmd/benchcheck BENCH_routelab.json
+
+# lint runs staticcheck (CI installs it with
+# `go install honnef.co/go/tools/cmd/staticcheck@2025.1.1`).
+lint:
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
+		echo "staticcheck not found; install it with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@2025.1.1"; \
+		exit 1; }
+	$(STATICCHECK) ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1

@@ -6,6 +6,14 @@
 //
 //	go test -bench=. -benchmem
 //
+// Any run that executes at least one benchmark also writes
+// BENCH_routelab.json — a machine-readable emission (schema
+// routelab-bench/v1, see internal/obs) with per-benchmark ns/op and
+// allocs/op plus the obs counters the benchmarked code recorded.
+// cmd/benchcheck validates the file; CI's bench-smoke job runs both and
+// archives the artifact, so the perf trajectory is comparable across
+// commits. Set ROUTELAB_BENCH_JSON to redirect the emission.
+//
 // The per-experiment benchmarks share one lazily-built scenario (the
 // expensive part — topology generation plus two full routing
 // convergences — is measured separately by BenchmarkScenarioBuild at a
@@ -13,8 +21,12 @@
 package routelab_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -23,10 +35,92 @@ import (
 	"routelab/internal/classify"
 	"routelab/internal/experiments"
 	"routelab/internal/gaorexford"
+	"routelab/internal/obs"
 	"routelab/internal/scenario"
 	"routelab/internal/topology"
 	"routelab/internal/wire"
 )
+
+// TestMain writes the BENCH_routelab.json emission after the run when
+// any benchmark recorded a result (plain `go test` writes nothing).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := writeBenchReport(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: emission failed:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+var (
+	benchRecMu   sync.Mutex
+	benchRecords = map[string]obs.BenchResult{}
+)
+
+// measured records one benchmark invocation for the JSON emission:
+//
+//	defer measured(b)()
+//
+// placed AFTER setup (and any ResetTimer), so the alloc window excludes
+// shared fixtures. The benchmark framework may invoke a benchmark
+// several times with growing b.N; the record with the largest N (the
+// one the framework reports) wins.
+func measured(b *testing.B) func() {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	return func() {
+		if b.Skipped() || b.N == 0 {
+			return
+		}
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		elapsed := b.Elapsed()
+		if elapsed <= 0 {
+			elapsed = 1 // clamp: sub-ns ops still validate as timed
+		}
+		rec := obs.BenchResult{
+			Name:        b.Name(),
+			N:           b.N,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(b.N),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(b.N),
+			BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N),
+		}
+		benchRecMu.Lock()
+		defer benchRecMu.Unlock()
+		if prev, ok := benchRecords[rec.Name]; !ok || rec.N >= prev.N {
+			benchRecords[rec.Name] = rec
+		}
+	}
+}
+
+// writeBenchReport assembles and validates the emission; no benchmarks
+// recorded means nothing to write (not an error).
+func writeBenchReport() error {
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	if len(benchRecords) == 0 {
+		return nil
+	}
+	rep := obs.NewBenchReport()
+	for _, rec := range benchRecords {
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	rep.Metrics = obs.Snap()
+	path := os.Getenv("ROUTELAB_BENCH_JSON")
+	if path == "" {
+		path = "BENCH_routelab.json"
+	}
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d results written to %s\n", len(rep.Benchmarks), path)
+	return nil
+}
 
 var (
 	benchOnce sync.Once
@@ -58,6 +152,7 @@ func benchScenario(b *testing.B) *scenario.Scenario {
 func BenchmarkTable1Probes(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Table1(io.Discard, s)
 	}
@@ -68,6 +163,7 @@ func BenchmarkTable1Probes(b *testing.B) {
 func BenchmarkFigure1Breakdown(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure1(io.Discard, s)
 	}
@@ -78,6 +174,7 @@ func BenchmarkFigure1Breakdown(b *testing.B) {
 func BenchmarkTable2Magnet(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Table2(io.Discard, s, rand.New(rand.NewSource(int64(i))))
 	}
@@ -87,6 +184,7 @@ func BenchmarkTable2Magnet(b *testing.B) {
 func BenchmarkFigure2Skew(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure2(io.Discard, s)
 	}
@@ -97,6 +195,7 @@ func BenchmarkFigure2Skew(b *testing.B) {
 func BenchmarkFigure3Continents(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure3(io.Discard, s)
 	}
@@ -107,6 +206,7 @@ func BenchmarkFigure3Continents(b *testing.B) {
 func BenchmarkTable3Domestic(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Table3(io.Discard, s)
 	}
@@ -117,6 +217,7 @@ func BenchmarkTable3Domestic(b *testing.B) {
 func BenchmarkTable4Cables(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Table4(io.Discard, s)
 	}
@@ -128,6 +229,7 @@ func BenchmarkTable4Cables(b *testing.B) {
 func BenchmarkAlternateRoutes(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Alternates(io.Discard, s, rand.New(rand.NewSource(int64(i))))
 	}
@@ -149,6 +251,7 @@ func BenchmarkScenarioBuildParallel(b *testing.B) {
 }
 
 func benchmarkScenarioBuild(b *testing.B, workers int) {
+	defer measured(b)()
 	cfg := scenario.TestConfig()
 	cfg.NumProbes = 120
 	cfg.TracesTarget = 1200
@@ -171,6 +274,7 @@ func BenchmarkConvergePrefix(b *testing.B) {
 	engine := bgp.New(topo, 1)
 	prefixes := topo.OriginatedPrefixes()
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		p := prefixes[i%len(prefixes)]
 		c := engine.NewComputation(p)
@@ -189,6 +293,7 @@ func BenchmarkPoisonReconverge(b *testing.B) {
 	p := topo.AS(peeringAS).Prefixes[0]
 	mux := topo.Names["mux-0"]
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		c := engine.NewComputation(p)
 		c.Announce(bgp.Announcement{Origin: peeringAS})
@@ -212,6 +317,7 @@ func BenchmarkWireUpdateRoundTrip(b *testing.B) {
 	var buf []byte
 	b.ResetTimer()
 	b.ReportAllocs()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		buf = u.Encode(buf[:0])
 		if _, err := wire.Decode(buf); err != nil {
@@ -233,16 +339,10 @@ func BenchmarkClassifyDecision(b *testing.B) {
 		s.Context.Classify(d, classify.All1)
 	}
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		s.Context.Classify(ds[i%len(ds)], classify.All1)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // BenchmarkPathPrediction measures the path-predictor extension over the
@@ -250,6 +350,7 @@ func min(a, b int) int {
 func BenchmarkPathPrediction(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		experiments.Prediction(io.Discard, s)
 	}
@@ -264,6 +365,7 @@ func BenchmarkGaoRexfordCompute(b *testing.B) {
 		b.Skip("no decisions")
 	}
 	b.ResetTimer()
+	defer measured(b)()
 	for i := 0; i < b.N; i++ {
 		gaorexford.Compute(s.Context.Graph, ds[i%len(ds)].DstAS)
 	}

@@ -1,0 +1,55 @@
+// Command benchcheck validates a BENCH_routelab.json benchmark
+// emission (schema routelab-bench/v1, written by the repository's
+// bench harness — see bench_test.go and internal/obs) and prints a
+// human-readable summary. It exits non-zero on a missing, unparseable,
+// or malformed file, which is how CI's bench-smoke job fails on a
+// broken emission.
+//
+// Usage:
+//
+//	benchcheck [path]    (default BENCH_routelab.json)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"routelab/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [path to BENCH_routelab.json]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	path := "BENCH_routelab.json"
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		path = flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := obs.ReadBenchReport(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: valid %s emission (%s %s/%s, GOMAXPROCS %d)\n",
+		path, rep.Schema, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.GOMAXPROCS)
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tn\tns/op\tallocs/op\tB/op")
+	for _, b := range rep.Benchmarks {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f\t%.0f\n",
+			b.Name, b.N, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
+	}
+	w.Flush()
+	fmt.Printf("%d benchmarks, %d counters, %d stage timers\n",
+		len(rep.Benchmarks), len(rep.Metrics.Counters), len(rep.Metrics.Stages))
+}

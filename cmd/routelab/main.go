@@ -13,34 +13,48 @@
 //
 // Flags:
 //
-//	-seed N     master seed (default 2015)
-//	-scale F    topology scale factor (default 1.0; 0.1 is fast)
-//	-traces N   traceroute campaign size (default 28510)
-//	-probes N   selected probe count (default 1998)
-//	-workers N  parallel routing workers (default 0 = GOMAXPROCS; 1 = serial)
-//	-quiet      suppress build progress
+//	-seed N            master seed (default 2015)
+//	-scale F           topology scale factor (default 1.0; 0.1 is fast)
+//	-traces N          traceroute campaign size (default 28510)
+//	-probes N          selected probe count (default 1998)
+//	-workers N         parallel routing workers (default 0 = GOMAXPROCS; 1 = serial)
+//	-quiet             suppress build progress
+//	-metrics-json PATH write a structured run report (per-stage wall-clock
+//	                   timings plus every obs counter/gauge) as JSON
+//	-debug-addr ADDR   serve net/http/pprof and expvar on ADDR
+//	                   (e.g. localhost:6060) for live profiling
 //
 // Output is byte-identical for any -workers value; the flag only trades
-// wall-clock for cores (see internal/parallel).
+// wall-clock for cores (see internal/parallel). The observability
+// flags are side channels — they never change experiment output (see
+// internal/obs and DESIGN.md §9).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
+	"time"
 
 	"routelab/internal/experiments"
+	"routelab/internal/obs"
 	"routelab/internal/scenario"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 2015, "master seed")
-		scale   = flag.Float64("scale", 1.0, "topology scale factor")
-		traces  = flag.Int("traces", 28510, "traceroute campaign size")
-		probes  = flag.Int("probes", 1998, "selected probe count")
-		workers = flag.Int("workers", 0, "parallel routing workers (0 = all cores, 1 = serial)")
-		quiet   = flag.Bool("quiet", false, "suppress build progress")
+		seed        = flag.Int64("seed", 2015, "master seed")
+		scale       = flag.Float64("scale", 1.0, "topology scale factor")
+		traces      = flag.Int("traces", 28510, "traceroute campaign size")
+		probes      = flag.Int("probes", 1998, "selected probe count")
+		workers     = flag.Int("workers", 0, "parallel routing workers (0 = all cores, 1 = serial)")
+		quiet       = flag.Bool("quiet", false, "suppress build progress")
+		metricsJSON = flag.String("metrics-json", "", "write a structured metrics report (JSON) to this path")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: routelab [flags] <experiment>\nexperiments: %v\nflags:\n",
@@ -53,6 +67,23 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+
+	if *debugAddr != "" {
+		// The pprof and expvar handlers register on DefaultServeMux at
+		// import time; the metrics registry joins them under /debug/vars.
+		obs.Default().PublishExpvar("routelab")
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routelab: debug server:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "routelab: debug server:", err)
+			}
+		}()
+	}
 
 	cfg := scenario.DefaultConfig()
 	cfg.Seed = *seed
@@ -75,13 +106,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+
+	start := time.Now()
+	// writeMetrics emits the run report whether or not the run
+	// succeeded — a report of a failed run is exactly what you want
+	// when debugging one.
+	writeMetrics := func() {
+		if *metricsJSON == "" {
+			return
+		}
+		rep := obs.NewReport()
+		rep.Command = "routelab " + strings.Join(os.Args[1:], " ")
+		rep.Experiment = name
+		rep.Seed = *seed
+		rep.Scale = *scale
+		rep.Workers = *workers
+		rep.WallNS = int64(time.Since(start))
+		rep.Metrics = obs.Snap()
+		if err := rep.WriteFile(*metricsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "routelab: metrics:", err)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "metrics report written to %s\n", *metricsJSON)
+		}
+	}
+
 	s, err := scenario.Build(cfg, logf)
 	if err != nil {
+		writeMetrics()
 		fmt.Fprintln(os.Stderr, "routelab:", err)
 		os.Exit(1)
 	}
 	if err := experiments.Run(name, os.Stdout, s, *seed); err != nil {
+		writeMetrics()
 		fmt.Fprintln(os.Stderr, "routelab:", err)
 		os.Exit(1)
 	}
+	writeMetrics()
 }

@@ -90,10 +90,6 @@ func (pl *Platform) NumProbes() int { return len(pl.probes) }
 func (pl *Platform) SelectBalanced(rng *rand.Rand, total int) []Probe {
 	quota := total / len(geo.Continents)
 	// Index probes by continent → country → AS.
-	type asKey struct {
-		cc geo.CountryCode
-		a  asn.ASN
-	}
 	byCont := make(map[geo.Continent]map[geo.CountryCode]map[asn.ASN][]Probe)
 	for _, p := range pl.probes {
 		cont := pl.topo.World.ContinentOf(p.City)
@@ -106,7 +102,6 @@ func (pl *Platform) SelectBalanced(rng *rand.Rand, total int) []Probe {
 		}
 		byCont[cont][cc][p.AS] = append(byCont[cont][cc][p.AS], p)
 	}
-	_ = asKey{}
 	var out []Probe
 	for _, cont := range geo.Continents {
 		countries := make([]geo.CountryCode, 0, len(byCont[cont]))

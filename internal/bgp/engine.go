@@ -5,7 +5,23 @@ import (
 	"sort"
 
 	"routelab/internal/asn"
+	"routelab/internal/obs"
 	"routelab/internal/topology"
+)
+
+// Cached obs handles (see internal/obs: Reset zeroes in place, so
+// init-time handles stay attached). Hot-path counters accumulate in
+// Computation fields and flush once per Converge, so instrumentation
+// adds no per-event atomics.
+var (
+	obsConvergeCalls    = obs.Default().Counter("bgp.converge.calls")
+	obsConvergeEvents   = obs.Default().Counter("bgp.converge.events")
+	obsConvergeChanges  = obs.Default().Counter("bgp.converge.changes")
+	obsConvergeDiverged = obs.Default().Counter("bgp.converge.diverged")
+	obsAnnounce         = obs.Default().Counter("bgp.announce.total")
+	obsAnnouncePoisoned = obs.Default().Counter("bgp.announce.poisoned")
+	obsPoisonedASes     = obs.Default().Counter("bgp.announce.poisoned_ases")
+	obsWithdraw         = obs.Default().Counter("bgp.withdraw.total")
 )
 
 // Engine computes ground-truth routing over a topology. It is stateless
@@ -92,6 +108,9 @@ type Computation struct {
 	converged bool
 
 	nProcessed, nChanges int
+	// flushedProcessed/flushedChanges track what the obs counters have
+	// already seen, so each Converge flushes only its own delta.
+	flushedProcessed, flushedChanges int
 }
 
 // NewComputation starts an empty computation for a prefix.
@@ -151,6 +170,11 @@ func (c *Computation) enqueue(i int32) {
 func (c *Computation) Announce(a Announcement) {
 	a.Prefix = c.prefix
 	c.anns[a.Origin] = a
+	obsAnnounce.Inc()
+	if len(a.Poisoned) > 0 {
+		obsAnnouncePoisoned.Inc()
+		obsPoisonedASes.Add(int64(len(a.Poisoned)))
+	}
 	if i, ok := c.idx(a.Origin); ok {
 		c.force[i] = true
 		c.enqueue(i)
@@ -160,6 +184,7 @@ func (c *Computation) Announce(a Announcement) {
 // Withdraw removes an origin's announcement.
 func (c *Computation) Withdraw(origin asn.ASN) {
 	delete(c.anns, origin)
+	obsWithdraw.Inc()
 	if i, ok := c.idx(origin); ok {
 		c.force[i] = true
 		c.enqueue(i)
@@ -179,12 +204,30 @@ func (c *Computation) Converge() bool {
 		events++
 		if events > limit {
 			c.converged = false
+			obsConvergeDiverged.Inc()
+			c.flushObs()
 			return false
 		}
 		c.process(i)
 	}
 	c.converged = true
+	c.flushObs()
 	return true
+}
+
+// flushObs publishes this Converge's route-evaluation delta to the obs
+// counters — one batch of atomic adds per convergence, nothing per
+// event.
+func (c *Computation) flushObs() {
+	obsConvergeCalls.Inc()
+	if d := c.nProcessed - c.flushedProcessed; d > 0 {
+		obsConvergeEvents.Add(int64(d))
+		c.flushedProcessed = c.nProcessed
+	}
+	if d := c.nChanges - c.flushedChanges; d > 0 {
+		obsConvergeChanges.Add(int64(d))
+		c.flushedChanges = c.nChanges
+	}
 }
 
 // pop removes the queued AS with the shortest installed route.

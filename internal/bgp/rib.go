@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"routelab/internal/asn"
+	"routelab/internal/obs"
 	"routelab/internal/parallel"
 )
 
@@ -41,13 +42,18 @@ func (e *Engine) ComputePrefix(p asn.Prefix) map[asn.ASN]Route {
 // byte-identical for any worker count. workers <= 0 selects GOMAXPROCS.
 func (e *Engine) ComputeRIB(prefixes []asn.Prefix, workers int) *RIB {
 	rib := &RIB{routes: make(map[asn.Prefix]map[asn.ASN]Route, len(prefixes))}
-	perPrefix := parallel.Map(prefixes, workers, func(_ int, p asn.Prefix) map[asn.ASN]Route {
-		return e.ComputePrefix(p)
-	})
+	perPrefix := parallel.MapStage("bgp/compute-rib", prefixes, workers,
+		func(_ int, p asn.Prefix) map[asn.ASN]Route {
+			return e.ComputePrefix(p)
+		})
+	routes := 0
 	for i, p := range prefixes {
 		rib.routes[p] = perPrefix[i]
+		routes += len(perPrefix[i])
 	}
 	rib.indexPrefixes()
+	obs.Add("bgp.rib.prefixes", int64(len(prefixes)))
+	obs.Add("bgp.rib.routes", int64(routes))
 	return rib
 }
 

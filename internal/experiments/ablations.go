@@ -91,7 +91,7 @@ func thresholdAblation(w io.Writer, s *scenario.Scenario) {
 		edges int
 		pct   float64
 	}
-	rows := parallel.Map(thresholds, s.Cfg.RoutingWorkers,
+	rows := parallel.MapStage("experiments/threshold-ablation", thresholds, s.Cfg.RoutingWorkers,
 		func(_ int, th float64) sweepRow {
 			cfg := inference.DefaultConfig()
 			cfg.VisibilityThreshold = th

@@ -15,6 +15,7 @@ import (
 	"routelab/internal/atlas"
 	"routelab/internal/classify"
 	"routelab/internal/geo"
+	"routelab/internal/obs"
 	"routelab/internal/parallel"
 	"routelab/internal/report"
 	"routelab/internal/scenario"
@@ -76,7 +77,7 @@ func Figure1(w io.Writer, s *scenario.Scenario) {
 		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
 	t := report.NewTable("Figure 1 (numeric)", "Refinement",
 		"Best/Short%", "NonBest/Short%", "Best/Long%", "NonBest/Long%")
-	breakdowns := parallel.Map(classify.Refinements, s.Cfg.RoutingWorkers,
+	breakdowns := parallel.MapStage("experiments/figure1-breakdowns", classify.Refinements, s.Cfg.RoutingWorkers,
 		func(_ int, ref classify.Refinement) map[classify.Category]int {
 			return s.Context.Breakdown(ds, ref)
 		})
@@ -126,8 +127,6 @@ func Table2(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
 // Figure2 reports the violation skew across source and destination ASes
 // (paper §5, Figure 2).
 func Figure2(w io.Writer, s *scenario.Scenario) {
-	ds := s.Decisions()
-	_ = ds
 	for _, byDst := range []bool{false, true} {
 		kind := "source"
 		if byDst {
@@ -275,21 +274,30 @@ func Alternates(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
 	t.Render(w)
 }
 
+// timed runs one experiment driver under its obs stage timer
+// ("experiment/<name>"), so a -metrics-json report breaks the run's
+// wall clock down per table/figure.
+func timed(name string, fn func()) {
+	defer obs.StartStage("experiment/" + name)()
+	obs.Inc("experiments.runs")
+	fn()
+}
+
 // All runs every experiment in paper order.
 func All(w io.Writer, s *scenario.Scenario, seed int64) {
-	Table1(w, s)
-	Figure1(w, s)
-	Table2(w, s, rand.New(rand.NewSource(seed)))
-	Figure2(w, s)
-	Figure3(w, s)
-	Table3(w, s)
-	Table4(w, s)
-	PSPValidation(w, s)
-	Alternates(w, s, rand.New(rand.NewSource(seed+1)))
-	CaseStudies(w, s, rand.New(rand.NewSource(seed+3)))
-	InferenceAccuracy(w, s)
-	Prediction(w, s)
-	Ablations(w, s, rand.New(rand.NewSource(seed+2)))
+	timed("table1", func() { Table1(w, s) })
+	timed("figure1", func() { Figure1(w, s) })
+	timed("table2", func() { Table2(w, s, rand.New(rand.NewSource(seed))) })
+	timed("figure2", func() { Figure2(w, s) })
+	timed("figure3", func() { Figure3(w, s) })
+	timed("table3", func() { Table3(w, s) })
+	timed("table4", func() { Table4(w, s) })
+	timed("pspvalidation", func() { PSPValidation(w, s) })
+	timed("alternates", func() { Alternates(w, s, rand.New(rand.NewSource(seed+1))) })
+	timed("casestudies", func() { CaseStudies(w, s, rand.New(rand.NewSource(seed+3))) })
+	timed("accuracy", func() { InferenceAccuracy(w, s) })
+	timed("prediction", func() { Prediction(w, s) })
+	timed("ablations", func() { Ablations(w, s, rand.New(rand.NewSource(seed+2))) })
 }
 
 // Names lists the experiment identifiers the CLI accepts.
@@ -299,35 +307,37 @@ func Names() []string {
 	return out
 }
 
-// Run dispatches one experiment by name.
+// Run dispatches one experiment by name. Each experiment runs under an
+// obs stage timer; "all" times every sub-experiment individually (via
+// All) rather than as one lump.
 func Run(name string, w io.Writer, s *scenario.Scenario, seed int64) error {
 	switch name {
 	case "table1":
-		Table1(w, s)
+		timed(name, func() { Table1(w, s) })
 	case "figure1":
-		Figure1(w, s)
+		timed(name, func() { Figure1(w, s) })
 	case "table2":
-		Table2(w, s, rand.New(rand.NewSource(seed)))
+		timed(name, func() { Table2(w, s, rand.New(rand.NewSource(seed))) })
 	case "figure2":
-		Figure2(w, s)
+		timed(name, func() { Figure2(w, s) })
 	case "figure3":
-		Figure3(w, s)
+		timed(name, func() { Figure3(w, s) })
 	case "table3":
-		Table3(w, s)
+		timed(name, func() { Table3(w, s) })
 	case "table4":
-		Table4(w, s)
+		timed(name, func() { Table4(w, s) })
 	case "pspvalidation":
-		PSPValidation(w, s)
+		timed(name, func() { PSPValidation(w, s) })
 	case "ablations":
-		Ablations(w, s, rand.New(rand.NewSource(seed+2)))
+		timed(name, func() { Ablations(w, s, rand.New(rand.NewSource(seed+2))) })
 	case "accuracy":
-		InferenceAccuracy(w, s)
+		timed(name, func() { InferenceAccuracy(w, s) })
 	case "casestudies":
-		CaseStudies(w, s, rand.New(rand.NewSource(seed+3)))
+		timed(name, func() { CaseStudies(w, s, rand.New(rand.NewSource(seed+3))) })
 	case "prediction":
-		Prediction(w, s)
+		timed(name, func() { Prediction(w, s) })
 	case "alternates":
-		Alternates(w, s, rand.New(rand.NewSource(seed+1)))
+		timed(name, func() { Alternates(w, s, rand.New(rand.NewSource(seed+1))) })
 	case "all":
 		All(w, s, seed)
 	default:

@@ -79,13 +79,11 @@ func (m *Mapper) ConvertTrace(tr traceroute.Trace) ([]asn.ASN, bool) {
 	// 1. Map each responsive hop.
 	raw := make([]asn.ASN, 0, len(tr.Hops)+1)
 	raw = append(raw, tr.SrcAS) // the probe knows its own AS
-	unresolved := false
 	for _, h := range tr.Hops {
 		a := m.ASOf(h.IP)
 		if a.IsZero() {
-			// Unresponsive or unmappable hop: ignore, but remember that
-			// a gap existed if it sits between two different ASes.
-			unresolved = true
+			// Unresponsive or unmappable hop: ignore; gaps are
+			// tolerated once anomalies are dropped below.
 			continue
 		}
 		raw = append(raw, a)
@@ -103,7 +101,6 @@ func (m *Mapper) ConvertTrace(tr traceroute.Trace) ([]asn.ASN, bool) {
 	path = m.dropAnomalies(path)
 	// 4. A usable decision path must end at the destination AS.
 	ok := tr.Reached && len(path) >= 1
-	_ = unresolved // gaps are tolerated once anomalies are dropped
 	return path, ok
 }
 

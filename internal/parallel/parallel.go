@@ -40,12 +40,22 @@
 // RoutingWorkers, the -workers CLI flags). Workers(1) runs the caller's
 // loop inline with no goroutines, which is the serial reference path
 // the determinism tests compare against.
+//
+// # Observability
+//
+// The Stage variants (ForEachStage, MapStage) additionally record the
+// stage's wall clock, item count, items/sec, and worker utilization in
+// the default obs registry (see internal/obs and DESIGN.md
+// §"Observability"). Metrics never feed back into results.
 package parallel
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"routelab/internal/obs"
 )
 
 // Workers normalizes a configured worker count: values <= 0 select
@@ -118,6 +128,52 @@ func ForEach(n, workers int, fn func(i int)) {
 func Map[T, R any](items []T, workers int, fn func(i int, item T) R) []R {
 	out := make([]R, len(items))
 	ForEach(len(items), workers, func(i int) {
+		out[i] = fn(i, items[i])
+	})
+	return out
+}
+
+// ForEachStage is ForEach instrumented under a stage name: it records
+// the stage's wall clock on the obs timer of that name, plus
+// "<stage>.items" (counter), "<stage>.items_per_sec",
+// "<stage>.utilization" (busy worker-time / workers × wall), and
+// "<stage>.workers" (gauges) in the default obs registry. The metrics
+// are a side channel — the determinism contract is untouched; output
+// stays byte-identical for any worker count. Instrumentation costs one
+// clock read pair plus one atomic add per item, so use it for stages
+// whose items are substantial (a convergence, a probe's traceroutes),
+// not micro-loops.
+func ForEachStage(stage string, n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	effective := Workers(workers)
+	if effective > n {
+		effective = n
+	}
+	var busy atomic.Int64
+	start := time.Now()
+	ForEach(n, workers, func(i int) {
+		t0 := time.Now()
+		fn(i)
+		busy.Add(int64(time.Since(t0)))
+	})
+	wall := time.Since(start)
+	reg := obs.Default()
+	reg.Timer(stage).Observe(wall)
+	reg.Counter(stage + ".items").Add(int64(n))
+	reg.Gauge(stage + ".workers").Set(float64(effective))
+	if wall > 0 {
+		reg.Gauge(stage + ".items_per_sec").Set(float64(n) / wall.Seconds())
+		reg.Gauge(stage + ".utilization").Set(float64(busy.Load()) / (float64(wall) * float64(effective)))
+	}
+}
+
+// MapStage is Map instrumented under a stage name; see ForEachStage for
+// the recorded metrics and their cost.
+func MapStage[T, R any](stage string, items []T, workers int, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	ForEachStage(stage, len(items), workers, func(i int) {
 		out[i] = fn(i, items[i])
 	})
 	return out

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"routelab/internal/obs"
 )
 
 func TestWorkersNormalization(t *testing.T) {
@@ -54,6 +56,52 @@ func TestMapStableOrder(t *testing.T) {
 			if got[i] != serial[i] {
 				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], serial[i])
 			}
+		}
+	}
+}
+
+// TestMapStageRecordsMetrics checks the instrumented variant produces
+// the same stable merge AND leaves the advertised metrics behind in the
+// default obs registry.
+func TestMapStageRecordsMetrics(t *testing.T) {
+	obs.Reset()
+	t.Cleanup(obs.Reset)
+	items := []int{5, 6, 7, 8, 9}
+	got := MapStage("parallel-test/square", items, 2, func(i, v int) int { return v * v })
+	for i, v := range items {
+		if got[i] != v*v {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], v*v)
+		}
+	}
+	snap := obs.Snap()
+	if n := snap.Counters["parallel-test/square.items"]; n != int64(len(items)) {
+		t.Errorf("items counter = %d, want %d", n, len(items))
+	}
+	if w := snap.Gauges["parallel-test/square.workers"]; w != 2 {
+		t.Errorf("workers gauge = %v, want 2", w)
+	}
+	if u := snap.Gauges["parallel-test/square.utilization"]; u < 0 || u > 1.5 {
+		t.Errorf("utilization gauge = %v, want a plausible ratio", u)
+	}
+	found := false
+	for _, st := range snap.Stages {
+		if st.Name == "parallel-test/square" && st.Count == 1 && st.TotalNS > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stage timer missing or empty: %+v", snap.Stages)
+	}
+}
+
+// TestForEachStageEmpty must not record a stage for zero items.
+func TestForEachStageEmpty(t *testing.T) {
+	obs.Reset()
+	t.Cleanup(obs.Reset)
+	ForEachStage("parallel-test/empty", 0, 4, func(int) { t.Fatal("fn called for n=0") })
+	for _, st := range obs.Snap().Stages {
+		if st.Name == "parallel-test/empty" && st.Count != 0 {
+			t.Errorf("empty stage recorded: %+v", st)
 		}
 	}
 }

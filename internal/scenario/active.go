@@ -65,7 +65,7 @@ func (s *Scenario) RunMagnetCampaign(rng *rand.Rand) MagnetCampaign {
 	// One magnet run per mux, each over its own bgp.Computation — fan
 	// out, then do the order-sensitive visibility marking serially over
 	// the merged runs (in mux order, same as the serial path).
-	campaign.Runs = parallel.Map(s.Testbed.Muxes, s.Cfg.RoutingWorkers,
+	campaign.Runs = parallel.MapStage("scenario/magnet", s.Testbed.Muxes, s.Cfg.RoutingWorkers,
 		func(mi int, _ asn.ASN) peering.MagnetResult {
 			return s.Testbed.Magnet(prefix, mi, observe)
 		})
@@ -222,7 +222,7 @@ func (s *Scenario) RunAlternatesCampaign(rng *rand.Rand) []peering.AlternateResu
 	if limit := s.Cfg.MaxAlternateTargets; limit > 0 && len(targets) > limit {
 		targets = targets[:limit]
 	}
-	return parallel.Map(targets, s.Cfg.RoutingWorkers,
+	return parallel.MapStage("scenario/alternates", targets, s.Cfg.RoutingWorkers,
 		func(_ int, t asn.ASN) peering.AlternateResult {
 			return s.Testbed.DiscoverAlternates(prefix, t)
 		})

@@ -39,6 +39,7 @@ import (
 	"routelab/internal/inference"
 	"routelab/internal/ipasmap"
 	"routelab/internal/lookingglass"
+	"routelab/internal/obs"
 	"routelab/internal/parallel"
 	"routelab/internal/peering"
 	"routelab/internal/relgraph"
@@ -152,30 +153,45 @@ type Scenario struct {
 // Logf receives progress lines during Build; nil silences them.
 type Logf func(format string, args ...any)
 
-// Build assembles the scenario.
+// Build assembles the scenario. Every phase runs under an obs stage
+// timer ("scenario/..."), and the build records its headline counts
+// (ASes, links, snapshots, traces, decisions) as obs counters, so a
+// -metrics-json report explains where a build's wall clock went.
 func Build(cfg Config, logf Logf) (*Scenario, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	defer obs.StartStage("scenario/build")()
+	obs.Inc("scenario.builds")
 	s := &Scenario{Cfg: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	logf("generating topology (seed %d)", cfg.Seed)
+	stop := obs.StartStage("scenario/topology")
 	s.Topo = topology.Generate(cfg.Seed, cfg.Topology)
 	s.Engine = bgp.New(s.Topo, cfg.Seed)
+	stop()
 	logf("  %d ASes, %d links, %d prefixes",
 		s.Topo.NumASes(), s.Topo.NumLinks(), len(s.Topo.OriginatedPrefixes()))
+	obs.Add("scenario.topology.ases", int64(s.Topo.NumASes()))
+	obs.Add("scenario.topology.links", int64(s.Topo.NumLinks()))
+	obs.Add("scenario.topology.prefixes", int64(len(s.Topo.OriginatedPrefixes())))
 
 	workers := parallel.Workers(cfg.RoutingWorkers)
 	logf("converging historical epoch routing (%d workers)", workers)
+	stop = obs.StartStage("scenario/converge-historical")
 	topoHist := s.Topo.Restored()
 	ribHist := bgp.New(topoHist, cfg.Seed).ComputeFullRIB(cfg.RoutingWorkers)
+	stop()
 	logf("converging current epoch routing (%d workers)", workers)
+	stop = obs.StartStage("scenario/converge-current")
 	s.RIB = s.Engine.ComputeFullRIB(cfg.RoutingWorkers)
+	stop()
 
 	s.Siblings = siblings.Infer(s.Topo.Registry, s.Topo.DNS)
 
 	logf("collecting %d monitor snapshots", cfg.HistoricEpochs+cfg.CurrentEpochs)
+	stop = obs.StartStage("scenario/snapshots")
 	infCfg := inference.DefaultConfig()
 	infCfg.SameOrg = s.Siblings.SameOrg
 	// Collection consumes the shared rng, so it stays serial; the
@@ -191,12 +207,15 @@ func Build(cfg Config, logf Logf) (*Scenario, error) {
 		snap := vantage.Collect(src, peers, epoch)
 		s.Snapshots = append(s.Snapshots, snap)
 	}
-	graphs := parallel.Map(s.Snapshots, cfg.RoutingWorkers,
+	stop()
+	obs.Add("scenario.snapshots", int64(len(s.Snapshots)))
+	graphs := parallel.MapStage("scenario/inference", s.Snapshots, cfg.RoutingWorkers,
 		func(_ int, snap *vantage.Snapshot) *relgraph.Graph {
 			return inference.InferSnapshot(snap, infCfg)
 		})
 	s.Inferred = inference.Aggregate(graphs)
 	logf("  inferred graph: %d edges", s.Inferred.NumEdges())
+	obs.Add("scenario.inference.edges", int64(s.Inferred.NumEdges()))
 
 	latest := s.Snapshots[len(s.Snapshots)-1]
 	s.Mapper = ipasmap.FromSnapshot(latest)
@@ -239,9 +258,12 @@ func Build(cfg Config, logf Logf) (*Scenario, error) {
 	}
 
 	logf("deploying Atlas platform")
+	stop = obs.StartStage("scenario/atlas")
 	s.Platform = atlas.NewPlatform(s.Topo, cfg.Seed)
 	s.Probes = s.Platform.SelectBalanced(rng, cfg.NumProbes)
+	stop()
 	logf("  population %d probes, selected %d", s.Platform.NumProbes(), len(s.Probes))
+	obs.Add("scenario.probes.selected", int64(len(s.Probes)))
 
 	logf("running traceroute campaign (target %d traces)", cfg.TracesTarget)
 	if err := s.runCampaign(rng); err != nil {
@@ -253,12 +275,19 @@ func Build(cfg Config, logf Logf) (*Scenario, error) {
 	}
 	logf("  %d traces issued, %d usable, %d decisions",
 		s.TracesIssued, len(s.Measurements), decisions)
+	obs.Add("scenario.traces.issued", int64(s.TracesIssued))
+	obs.Add("scenario.traces.usable", int64(len(s.Measurements)))
+	obs.Add("scenario.decisions", int64(decisions))
 
 	// Roughly one in five transit operators runs a public route server
 	// (the paper found 28 of 149 candidate neighbors).
+	stop = obs.StartStage("scenario/lookingglass")
 	s.LookingGlasses = lookingglass.Deploy(s.Topo, s.RIB, rng, 0.2)
+	stop()
 
+	stop = obs.StartStage("scenario/testbed")
 	tb, err := peering.NewTestbed(s.Engine)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
@@ -312,7 +341,7 @@ func (s *Scenario) Campaign(probes []atlas.Probe, target int, rng *rand.Rand) ([
 		// their probe-local issue number in TraceID until the merge.
 		issued int
 	}
-	runs := parallel.Map(probes, s.Cfg.RoutingWorkers, func(i int, probe atlas.Probe) probeRun {
+	runs := parallel.MapStage("scenario/campaign", probes, s.Cfg.RoutingWorkers, func(i int, probe atlas.Probe) probeRun {
 		prng := rand.New(rand.NewSource(seeds[i]))
 		upstreams := s.upstreamsOf(probe.AS)
 		probeCont := s.Topo.World.ContinentOf(probe.City)

@@ -387,7 +387,7 @@ func (g *generator) makeLargeISPs(tier1s []asn.ASN) []asn.ASN {
 		}
 	}
 	// Peering mesh among large ISPs, biased to the same continent.
-	for i, x := range out {
+	for _, x := range out {
 		nPeers := 2 + g.rng.Intn(5)
 		for k := 0; k < nPeers; k++ {
 			y := out[g.rng.Intn(len(out))]
@@ -401,7 +401,6 @@ func (g *generator) makeLargeISPs(tier1s []asn.ASN) []asn.ASN {
 			}
 			g.link(x, y, RelPeer, 3)
 		}
-		_ = i
 	}
 	return out
 }
