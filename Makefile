@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: verify build vet test race bench bench-smoke lint cover
+.PHONY: verify build vet test race bench bench-smoke service-smoke lint cover
 
 verify: build vet race
 
@@ -32,6 +32,12 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/benchcheck BENCH_routelab.json
+
+# service-smoke boots routelabd on a tiny scenario, curls every /v1
+# endpoint, validates the routelab-api/v1 envelopes with cmd/apicheck,
+# and checks the SIGTERM graceful drain (scripts/service_smoke.sh).
+service-smoke:
+	bash scripts/service_smoke.sh
 
 # lint runs staticcheck (CI installs it with
 # `go install honnef.co/go/tools/cmd/staticcheck@2025.1.1`).

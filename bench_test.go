@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -37,6 +39,7 @@ import (
 	"routelab/internal/gaorexford"
 	"routelab/internal/obs"
 	"routelab/internal/scenario"
+	"routelab/internal/service"
 	"routelab/internal/topology"
 	"routelab/internal/wire"
 )
@@ -369,4 +372,52 @@ func BenchmarkGaoRexfordCompute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		gaorexford.Compute(s.Context.Graph, ds[i%len(ds)].DstAS)
 	}
+}
+
+// BenchmarkServeClassify measures the /v1/classify serve path through
+// the full handler stack — mux dispatch, obs middleware, admission
+// gate, response cache, JSON marshal. The warm case replays one hot
+// query (a cache hit returns the stored bytes); the cold case rotates
+// trace ids through a 1-entry cache so every request classifies and
+// marshals afresh.
+func BenchmarkServeClassify(b *testing.B) {
+	s := benchScenario(b)
+	b.Run("warm", func(b *testing.B) {
+		srv := service.New(s, service.Config{})
+		h := srv.Handler()
+		url := fmt.Sprintf("/v1/classify?trace=%d", s.Measurements[0].TraceID)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("prime: status %d", rec.Code)
+		}
+		b.ResetTimer()
+		defer measured(b)()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		srv := service.New(s, service.Config{CacheSize: 1})
+		h := srv.Handler()
+		if len(s.Measurements) < 2 {
+			b.Skip("need two measurements to defeat the cache")
+		}
+		b.ResetTimer()
+		defer measured(b)()
+		for i := 0; i < b.N; i++ {
+			// Consecutive iterations use different trace ids, so the
+			// 1-entry LRU never holds the one being asked for.
+			trace := s.Measurements[i%len(s.Measurements)].TraceID
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/v1/classify?trace=%d", trace), nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
 }

@@ -1,0 +1,52 @@
+// Command apicheck validates routelab-api/v1 response envelopes, the
+// way cmd/benchcheck validates bench reports: read JSON from files (or
+// stdin with no arguments), check the schema tag, the kind, and the
+// payload, and exit non-zero with a message on the first violation.
+//
+// Usage:
+//
+//	apicheck [file...]
+//	curl -s localhost:8080/v1/healthz | apicheck
+//
+// The CI service-smoke job pipes every /v1 endpoint's body through it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"routelab/internal/service"
+)
+
+func check(name string, r io.Reader) error {
+	e, err := service.ReadEnvelope(r)
+	if err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	fmt.Printf("%s: ok (%s, kind %s, %d data bytes)\n", name, e.Schema, e.Kind, len(e.Data))
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := check("stdin", os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+		err = check(path, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+	}
+}

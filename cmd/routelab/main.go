@@ -67,6 +67,13 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+	// Fail fast — before the expensive build — on a name we can't
+	// dispatch and on flag combinations no scenario can be built from.
+	if _, ok := experiments.Get(name); !ok {
+		fmt.Fprintf(os.Stderr, "routelab: unknown experiment %q (have %v)\n",
+			name, experiments.Names())
+		os.Exit(2)
+	}
 
 	if *debugAddr != "" {
 		// The pprof and expvar handlers register on DefaultServeMux at
@@ -98,6 +105,10 @@ func main() {
 			cfg.NumProbes = 60
 		}
 		cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "routelab: invalid flags:", err)
+		os.Exit(2)
 	}
 
 	logf := scenario.Logf(nil)

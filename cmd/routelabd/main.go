@@ -1,0 +1,187 @@
+// Command routelabd serves the reproduction as a long-running query
+// service: it builds one sealed Scenario at startup (the expensive
+// part) and then answers classification, alternate-route, experiment,
+// and topology queries over HTTP/JSON — the versioned routelab-api/v1
+// (see internal/service).
+//
+// Usage:
+//
+//	routelabd [flags]
+//
+// Flags:
+//
+//	-addr ADDR          listen address (default localhost:8080)
+//	-seed N             master seed (default 2015)
+//	-scale F            topology scale factor (default 1.0; 0.05 is smoke-test fast)
+//	-traces N           traceroute campaign size (default 28510)
+//	-probes N           selected probe count (default 1998)
+//	-workers N          parallel routing workers (0 = GOMAXPROCS, 1 = serial)
+//	-max-concurrent N   concurrent request computations (0 = GOMAXPROCS)
+//	-request-timeout D  per-request deadline (0 = none); expiry returns 504
+//	-cache N            response cache entries (default 256)
+//	-drain D            shutdown drain budget for in-flight requests (default 30s)
+//	-quiet              suppress build progress
+//	-metrics-json PATH  write the obs run report as JSON on exit
+//	-debug-addr ADDR    serve net/http/pprof and expvar on ADDR
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests (up to -drain), then exits 0. Responses are
+// byte-identical for any -workers / -max-concurrent values and any mix
+// of concurrent clients — the build-time determinism contract extended
+// to serve time.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"routelab/internal/obs"
+	"routelab/internal/scenario"
+	"routelab/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "listen address")
+		seed        = flag.Int64("seed", 2015, "master seed")
+		scale       = flag.Float64("scale", 1.0, "topology scale factor")
+		traces      = flag.Int("traces", 28510, "traceroute campaign size")
+		probes      = flag.Int("probes", 1998, "selected probe count")
+		workers     = flag.Int("workers", 0, "parallel routing workers (0 = all cores, 1 = serial)")
+		maxConc     = flag.Int("max-concurrent", 0, "concurrent request computations (0 = all cores)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
+		cacheSize   = flag.Int("cache", 256, "response cache entries")
+		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		quiet       = flag.Bool("quiet", false, "suppress build progress")
+		metricsJSON = flag.String("metrics-json", "", "write a structured metrics report (JSON) to this path on exit")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "routelabd: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := scenario.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Topology.Scale = *scale
+	cfg.TracesTarget = *traces
+	cfg.NumProbes = *probes
+	cfg.RoutingWorkers = *workers
+	if *scale < 0.5 {
+		// Small topologies have proportionally fewer probes available
+		// (same adjustment as cmd/routelab).
+		cfg.NumProbes = int(float64(cfg.NumProbes) * *scale * 2)
+		if cfg.NumProbes < 60 {
+			cfg.NumProbes = 60
+		}
+		cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "routelabd: invalid flags:", err)
+		os.Exit(2)
+	}
+
+	if *debugAddr != "" {
+		obs.Default().PublishExpvar("routelab")
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routelabd: debug server:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "routelabd: debug server:", err)
+			}
+		}()
+	}
+
+	logf := scenario.Logf(nil)
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	writeMetrics := func() {
+		if *metricsJSON == "" {
+			return
+		}
+		rep := obs.NewReport()
+		rep.Command = "routelabd " + strings.Join(os.Args[1:], " ")
+		rep.Seed = *seed
+		rep.Scale = *scale
+		rep.Workers = *workers
+		rep.WallNS = int64(time.Since(start))
+		rep.Metrics = obs.Snap()
+		if err := rep.WriteFile(*metricsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "routelabd: metrics:", err)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "metrics report written to %s\n", *metricsJSON)
+		}
+	}
+
+	s, err := scenario.Build(cfg, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routelabd:", err)
+		os.Exit(1)
+	}
+
+	srv := service.New(s, service.Config{
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *reqTimeout,
+		CacheSize:      *cacheSize,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routelabd:", err)
+		os.Exit(1)
+	}
+	// The smoke test and other supervisors wait for this line before
+	// sending traffic.
+	fmt.Fprintf(os.Stderr, "routelabd: serving routelab-api/v1 on http://%s/v1/\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "routelabd:", err)
+		writeMetrics()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests.
+	fmt.Fprintln(os.Stderr, "routelabd: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "routelabd: shutdown:", err)
+		writeMetrics()
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "routelabd:", err)
+		writeMetrics()
+		os.Exit(1)
+	}
+	writeMetrics()
+	fmt.Fprintln(os.Stderr, "routelabd: drained, bye")
+}

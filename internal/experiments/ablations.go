@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,20 +17,102 @@ import (
 	"routelab/internal/stats"
 )
 
-// Ablations quantifies the design choices DESIGN.md calls out: the
-// paper's continent-balanced probe selection (vs the raw EU-skewed
-// population), the inference visibility threshold, and the five-epoch
-// snapshot aggregation (vs the latest snapshot only).
-func Ablations(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
-	probeSelectionAblation(w, s, rng)
-	thresholdAblation(w, s)
-	aggregationAblation(w, s)
+// AblationProbeRow compares one probe-selection strategy.
+type AblationProbeRow struct {
+	Selection      string  `json:"selection"`
+	Probes         int     `json:"probes"`
+	EUSharePct     float64 `json:"eu_share_pct"`
+	BestShortPct   float64 `json:"best_short_pct"`
+	ContinentalPct float64 `json:"continental_pct"`
 }
 
-// probeSelectionAblation reruns the campaign with probes drawn
+// AblationThresholdRow is one visibility-threshold sweep point.
+type AblationThresholdRow struct {
+	Threshold    float64 `json:"threshold"`
+	Edges        int     `json:"edges"`
+	BestShortPct float64 `json:"best_short_pct"`
+}
+
+// AblationAggRow compares one snapshot-aggregation strategy.
+type AblationAggRow struct {
+	Topology     string  `json:"topology"`
+	Edges        int     `json:"edges"`
+	BestShortPct float64 `json:"best_short_pct"`
+}
+
+// AblationsResult quantifies the design choices DESIGN.md calls out:
+// the paper's continent-balanced probe selection (vs the raw EU-skewed
+// population), the inference visibility threshold, and the five-epoch
+// snapshot aggregation (vs the latest snapshot only).
+type AblationsResult struct {
+	// ProbeSkipReason is set when the raw-population campaign failed and
+	// the probe ablation was skipped.
+	ProbeSkipReason string                 `json:"probe_skip_reason,omitempty"`
+	ProbeRows       []AblationProbeRow     `json:"probe_rows,omitempty"`
+	ThresholdRows   []AblationThresholdRow `json:"threshold_rows"`
+	AggregationRows []AblationAggRow       `json:"aggregation_rows"`
+}
+
+func computeAblations(ctx context.Context, s *scenario.Scenario, rng *rand.Rand) (*AblationsResult, error) {
+	res := &AblationsResult{}
+	computeProbeSelectionAblation(res, s, rng)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	computeThresholdAblation(res, s)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	computeAggregationAblation(res, s)
+	return res, nil
+}
+
+func (r *AblationsResult) render(w io.Writer) {
+	if r.ProbeSkipReason != "" {
+		fmt.Fprintf(w, "probe ablation skipped: %v\n", r.ProbeSkipReason)
+	} else {
+		t := report.NewTable("Ablation: probe selection (balanced vs raw population sample)",
+			"Selection", "Probes", "EU share%", "Best/Short%", "Continental%")
+		for _, row := range r.ProbeRows {
+			t.Row(row.Selection, row.Probes, row.EUSharePct, row.BestShortPct, row.ContinentalPct)
+		}
+		t.Note("the balanced selection is §3.1's defense against the platform's EU deployment skew")
+		t.Render(w)
+	}
+	t := report.NewTable("Ablation: inference visibility threshold",
+		"Threshold", "Edges", "Best/Short%")
+	for _, row := range r.ThresholdRows {
+		t.Row(fmt.Sprintf("%.1f", row.Threshold), row.Edges, row.BestShortPct)
+	}
+	t.Note("too low mislabels transit as peering; too high invents transit from thin evidence")
+	t.Render(w)
+	t = report.NewTable("Ablation: snapshot aggregation",
+		"Topology", "Edges", "Best/Short%")
+	for _, row := range r.AggregationRows {
+		t.Row(row.Topology, row.Edges, row.BestShortPct)
+	}
+	t.Note("aggregation keeps decommissioned links alive (the stale AS3549-Netflix effect) but smooths per-epoch noise")
+	t.Render(w)
+}
+
+func runAblations(ctx context.Context, env *Env) (Result, error) {
+	return computeAblations(ctx, env.S, rand.New(rand.NewSource(env.Seed+2)))
+}
+
+// Ablations renders all three ablations from a caller-owned rand stream
+// (classic entry point).
+func Ablations(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+	res, err := computeAblations(context.Background(), s, rng)
+	if err != nil {
+		panic(err) // Background never cancels
+	}
+	res.render(w)
+}
+
+// computeProbeSelectionAblation reruns the campaign with probes drawn
 // uniformly from the EU-skewed population — the bias §3.1's balanced
 // methodology exists to avoid.
-func probeSelectionAblation(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+func computeProbeSelectionAblation(res *AblationsResult, s *scenario.Scenario, rng *rand.Rand) {
 	all := s.Platform.Probes()
 	n := len(s.Probes)
 	if n > len(all) {
@@ -42,12 +125,10 @@ func probeSelectionAblation(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
 	}
 	ms, _, err := s.Campaign(raw, s.Cfg.TracesTarget, rng)
 	if err != nil {
-		fmt.Fprintf(w, "probe ablation skipped: %v\n", err)
+		res.ProbeSkipReason = err.Error()
 		return
 	}
-	t := report.NewTable("Ablation: probe selection (balanced vs raw population sample)",
-		"Selection", "Probes", "EU share%", "Best/Short%", "Continental%")
-	emit := func(label string, probes []atlas.Probe, measurements []classify.Measurement) {
+	row := func(label string, probes []atlas.Probe, measurements []classify.Measurement) AblationProbeRow {
 		eu := 0
 		for _, p := range probes {
 			if s.Topo.World.ContinentOf(p.City) == geo.EU {
@@ -67,32 +148,29 @@ func probeSelectionAblation(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
 				}
 			}
 		}
-		t.Row(label, len(probes), stats.Pct(eu, len(probes)),
-			stats.Pct(bd[classify.BestShort], allDecisions),
-			stats.Pct(contDecisions, allDecisions))
+		return AblationProbeRow{
+			Selection:      label,
+			Probes:         len(probes),
+			EUSharePct:     stats.Pct(eu, len(probes)),
+			BestShortPct:   stats.Pct(bd[classify.BestShort], allDecisions),
+			ContinentalPct: stats.Pct(contDecisions, allDecisions),
+		}
 	}
-	emit("balanced (paper)", s.Probes, s.Measurements)
-	emit("raw sample", raw, ms)
-	t.Note("the balanced selection is §3.1's defense against the platform's EU deployment skew")
-	t.Render(w)
+	res.ProbeRows = append(res.ProbeRows,
+		row("balanced (paper)", s.Probes, s.Measurements),
+		row("raw sample", raw, ms))
 }
 
-// thresholdAblation sweeps the inference visibility threshold and
-// reports the inferred edge count and the downstream Best/Short share.
-// Each threshold re-infers and reclassifies the whole dataset
+// computeThresholdAblation sweeps the inference visibility threshold
+// and reports the inferred edge count and the downstream Best/Short
+// share. Each threshold re-infers and reclassifies the whole dataset
 // independently, so the sweep fans out across the worker pool; rows are
-// rendered in sweep order either way.
-func thresholdAblation(w io.Writer, s *scenario.Scenario) {
-	t := report.NewTable("Ablation: inference visibility threshold",
-		"Threshold", "Edges", "Best/Short%")
+// recorded in sweep order either way.
+func computeThresholdAblation(res *AblationsResult, s *scenario.Scenario) {
 	ds := s.Decisions()
 	thresholds := []float64{0.1, 0.2, 0.3, 0.5}
-	type sweepRow struct {
-		edges int
-		pct   float64
-	}
 	rows := parallel.MapStage("experiments/threshold-ablation", thresholds, s.Cfg.RoutingWorkers,
-		func(_ int, th float64) sweepRow {
+		func(_ int, th float64) AblationThresholdRow {
 			cfg := inference.DefaultConfig()
 			cfg.VisibilityThreshold = th
 			cfg.SameOrg = s.Siblings.SameOrg
@@ -107,25 +185,23 @@ func thresholdAblation(w io.Writer, s *scenario.Scenario) {
 			for _, n := range bd {
 				total += n
 			}
-			return sweepRow{edges: g.NumEdges(), pct: stats.Pct(bd[classify.BestShort], total)}
+			return AblationThresholdRow{
+				Threshold:    th,
+				Edges:        g.NumEdges(),
+				BestShortPct: stats.Pct(bd[classify.BestShort], total),
+			}
 		})
-	for i, th := range thresholds {
-		t.Row(fmt.Sprintf("%.1f", th), rows[i].edges, rows[i].pct)
-	}
-	t.Note("too low mislabels transit as peering; too high invents transit from thin evidence")
-	t.Render(w)
+	res.ThresholdRows = rows
 }
 
-// aggregationAblation compares the paper's five-epoch weighted majority
-// against using only the latest snapshot (no stale links, but also no
-// smoothing of transient inference errors).
-func aggregationAblation(w io.Writer, s *scenario.Scenario) {
+// computeAggregationAblation compares the paper's five-epoch weighted
+// majority against using only the latest snapshot (no stale links, but
+// also no smoothing of transient inference errors).
+func computeAggregationAblation(res *AblationsResult, s *scenario.Scenario) {
 	cfg := inference.DefaultConfig()
 	cfg.SameOrg = s.Siblings.SameOrg
 	latest := inference.InferSnapshot(s.Snapshots[len(s.Snapshots)-1], cfg)
 	ds := s.Decisions()
-	t := report.NewTable("Ablation: snapshot aggregation",
-		"Topology", "Edges", "Best/Short%")
 	for _, row := range []struct {
 		label string
 		g     *relgraph.Graph
@@ -139,8 +215,10 @@ func aggregationAblation(w io.Writer, s *scenario.Scenario) {
 		for _, n := range bd {
 			total += n
 		}
-		t.Row(row.label, row.g.NumEdges(), stats.Pct(bd[classify.BestShort], total))
+		res.AggregationRows = append(res.AggregationRows, AblationAggRow{
+			Topology:     row.label,
+			Edges:        row.g.NumEdges(),
+			BestShortPct: stats.Pct(bd[classify.BestShort], total),
+		})
 	}
-	t.Note("aggregation keeps decommissioned links alive (the stale AS3549-Netflix effect) but smooths per-epoch noise")
-	t.Render(w)
 }

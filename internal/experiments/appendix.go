@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,19 +18,38 @@ import (
 	"routelab/internal/topology"
 )
 
-// InferenceAccuracy scores the inferred relationship database against
+// --- inference accuracy -----------------------------------------------
+
+// ConfusionRow is one truth-vs-inferred label confusion bucket.
+type ConfusionRow struct {
+	Truth    string `json:"truth"`
+	Inferred string `json:"inferred"`
+	N        int    `json:"n"`
+}
+
+// AccuracyResult scores the inferred relationship database against
 // ground truth — the answer key the paper never had. It quantifies the
 // error budget feeding every classification experiment.
-func InferenceAccuracy(w io.Writer, s *scenario.Scenario) {
+type AccuracyResult struct {
+	Links               int `json:"links"`
+	Correct             int `json:"correct"`
+	MissingFromInferred int `json:"missing_from_inferred"`
+	Stale               int `json:"stale"`
+	Phantom             int `json:"phantom"`
+	// TopConfusions are the five largest mislabeled buckets.
+	TopConfusions []ConfusionRow `json:"top_confusions"`
+}
+
+func computeAccuracy(s *scenario.Scenario) *AccuracyResult {
 	truth := relgraph.FromTopology(s.Topo)
 	acc := inference.MeasureAccuracy(s.Context.Graph, truth)
-	t := report.NewTable("Appendix: inferred topology vs ground truth", "Metric", "Value")
-	t.Row("Ground-truth links visible to monitors", acc.Links)
-	t.Row("Labels correct", acc.Correct)
-	t.Row("Label accuracy %", stats.Pct(acc.Correct, acc.Links))
-	t.Row("Links invisible to monitors", acc.MissingFromInferred)
-	t.Row("Stale links (retired but still inferred)", staleCount(s))
-	t.Row("Phantom links", acc.ExtraInInferred)
+	res := &AccuracyResult{
+		Links:               acc.Links,
+		Correct:             acc.Correct,
+		MissingFromInferred: acc.MissingFromInferred,
+		Stale:               staleCount(s),
+		Phantom:             acc.ExtraInInferred,
+	}
 
 	// Per-truth-label confusion counts.
 	confusion := map[[2]topology.Rel]int{}
@@ -49,15 +69,49 @@ func InferenceAccuracy(w io.Writer, s *scenario.Scenario) {
 			rows = append(rows, row{k[0], k[1], n})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	// Total order (count desc, then labels) so the top-5 listing does
+	// not depend on map iteration order.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		if rows[i].truth != rows[j].truth {
+			return rows[i].truth < rows[j].truth
+		}
+		return rows[i].inf < rows[j].inf
+	})
 	for i, r := range rows {
 		if i >= 5 {
 			break
 		}
-		t.Note("top confusion %d: truth=%s inferred=%s (%d links)", i+1, r.truth, r.inf, r.n)
+		res.TopConfusions = append(res.TopConfusions, ConfusionRow{
+			Truth: r.truth.String(), Inferred: r.inf.String(), N: r.n,
+		})
+	}
+	return res
+}
+
+func (r *AccuracyResult) render(w io.Writer) {
+	t := report.NewTable("Appendix: inferred topology vs ground truth", "Metric", "Value")
+	t.Row("Ground-truth links visible to monitors", r.Links)
+	t.Row("Labels correct", r.Correct)
+	t.Row("Label accuracy %", stats.Pct(r.Correct, r.Links))
+	t.Row("Links invisible to monitors", r.MissingFromInferred)
+	t.Row("Stale links (retired but still inferred)", r.Stale)
+	t.Row("Phantom links", r.Phantom)
+	for i, c := range r.TopConfusions {
+		t.Note("top confusion %d: truth=%s inferred=%s (%d links)", i+1, c.Truth, c.Inferred, c.N)
 	}
 	t.Render(w)
 }
+
+func runAccuracy(_ context.Context, env *Env) (Result, error) {
+	return computeAccuracy(env.S), nil
+}
+
+// InferenceAccuracy renders the accuracy appendix directly (classic
+// entry point).
+func InferenceAccuracy(w io.Writer, s *scenario.Scenario) { computeAccuracy(s).render(w) }
 
 // staleCount counts retired ground-truth links the aggregate still
 // believes in — the AS3549–Netflix effect.
@@ -71,46 +125,107 @@ func staleCount(s *scenario.Scenario) int {
 	return n
 }
 
-// Prediction evaluates the Gao–Rexford model as a PATH PREDICTOR over
-// the measured campaign — the downstream use case (simulation, iPlane-
-// style prediction) whose fidelity the paper's whole investigation is
-// about. The exact-match rate is the headline "how wrong are our
-// simulators" number.
-func Prediction(w io.Writer, s *scenario.Scenario) {
+// --- path prediction --------------------------------------------------
+
+// PredictionResult evaluates the Gao–Rexford model as a PATH PREDICTOR
+// over the measured campaign — the downstream use case (simulation,
+// iPlane-style prediction) whose fidelity the paper's whole
+// investigation is about. The exact-match rate is the headline "how
+// wrong are our simulators" number.
+type PredictionResult struct {
+	Paths           int `json:"paths"`
+	Predicted       int `json:"predicted"`
+	Exact           int `json:"exact"`
+	SameLength      int `json:"same_length"`
+	FirstHopCorrect int `json:"first_hop_correct"`
+}
+
+func computePrediction(s *scenario.Scenario) *PredictionResult {
 	p := predict.New(s.Context.Graph)
 	paths := make([][]asn.ASN, 0, len(s.Measurements))
 	for i := range s.Measurements {
 		paths = append(paths, s.Measurements[i].ASPath)
 	}
 	sum := p.Evaluate(paths)
+	return &PredictionResult{
+		Paths:           sum.Paths,
+		Predicted:       sum.Predicted,
+		Exact:           sum.Exact,
+		SameLength:      sum.SameLength,
+		FirstHopCorrect: sum.FirstHopCorrect,
+	}
+}
+
+func (r *PredictionResult) render(w io.Writer) {
 	t := report.NewTable("Extension: the model as a path predictor", "Metric", "Value")
-	t.Row("Measured paths", sum.Paths)
-	t.Row("Paths the model could predict", sum.Predicted)
-	t.Row("Exact-path matches %", stats.Pct(sum.Exact, sum.Predicted))
-	t.Row("Correct length %", stats.Pct(sum.SameLength, sum.Predicted))
-	t.Row("Correct first hop %", stats.Pct(sum.FirstHopCorrect, sum.Predicted))
+	t.Row("Measured paths", r.Paths)
+	t.Row("Paths the model could predict", r.Predicted)
+	t.Row("Exact-path matches %", stats.Pct(r.Exact, r.Predicted))
+	t.Row("Correct length %", stats.Pct(r.SameLength, r.Predicted))
+	t.Row("Correct first hop %", stats.Pct(r.FirstHopCorrect, r.Predicted))
 	t.Note("the gap between first-hop and exact accuracy is the paper's point: models rank neighbors acceptably but mispredict full paths")
 	t.Render(w)
 }
 
-// CaseStudies hunts the live scenario for concrete instances of the
-// §4.4 violation stories: an AS whose discovered preference order
-// breaks both model properties, narrated with its relationships.
-func CaseStudies(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+func runPrediction(_ context.Context, env *Env) (Result, error) {
+	return computePrediction(env.S), nil
+}
+
+// Prediction renders the path-predictor extension directly (classic
+// entry point).
+func Prediction(w io.Writer, s *scenario.Scenario) { computePrediction(s).render(w) }
+
+// --- §4.4 case studies ------------------------------------------------
+
+// CaseStep is one discovered route in a case study's preference order.
+type CaseStep struct {
+	NextHop string `json:"next_hop"`
+	// Kind is the rendered annotation for notable next hops (e.g.
+	// " [research backbone]"), empty otherwise.
+	Kind     string `json:"kind,omitempty"`
+	Inferred string `json:"inferred"`
+	Truth    string `json:"truth"`
+	Path     string `json:"path"`
+}
+
+// CaseStudy narrates one AS whose discovered preference order breaks
+// both model properties.
+type CaseStudy struct {
+	Target  string     `json:"target"`
+	Class   string     `json:"class"`
+	Country string     `json:"country"`
+	Steps   []CaseStep `json:"steps"`
+	// SuffixNote marks the paper's telltale: a later route that is a
+	// SUFFIX of the first (the unnecessary-detour pattern).
+	SuffixNote bool `json:"suffix_note"`
+	// ResearchPreference marks ground-truth research-path preference.
+	ResearchPreference bool `json:"research_preference"`
+}
+
+// CaseStudiesResult hunts the live scenario for concrete instances of
+// the §4.4 violation stories, narrated with their relationships.
+type CaseStudiesResult struct {
+	Cases []CaseStudy `json:"cases"`
+}
+
+func computeCaseStudies(s *scenario.Scenario, rng *rand.Rand) *CaseStudiesResult {
 	runs := s.RunAlternatesCampaign(rng)
-	fmt.Fprintln(w, "Section 4.4 case studies: preference orders violating both model properties")
-	shown := 0
+	res := &CaseStudiesResult{}
 	for _, run := range runs {
-		if shown >= 3 {
+		if len(res.Cases) >= 3 {
 			break
 		}
 		if s.Context.ClassifyAlternates(run) != classify.AltNeither || len(run.Steps) < 2 {
 			continue
 		}
-		shown++
 		x := s.Topo.AS(run.Target)
-		fmt.Fprintf(w, "\ncase %d: %s (%s, %s)\n", shown, run.Target, x.Class, x.HomeCountry)
-		for i, st := range run.Steps {
+		c := CaseStudy{
+			Target:             run.Target.String(),
+			Class:              x.Class.String(),
+			Country:            string(x.HomeCountry),
+			ResearchPreference: x.ResearchPreference,
+		}
+		for _, st := range run.Steps {
 			rel := s.Context.Graph.Rel(run.Target, st.Route.NextHop)
 			truRel := s.Topo.Rel(run.Target, st.Route.NextHop)
 			nh := s.Topo.AS(st.Route.NextHop)
@@ -118,27 +233,55 @@ func CaseStudies(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
 			if nh != nil && nh.Class == topology.Research {
 				kind = " [research backbone]"
 			}
-			fmt.Fprintf(w, "  choice #%d: via %s%s, inferred %s (truth %s), path [%s]\n",
-				i+1, st.Route.NextHop, kind, rel, truRel, st.Route.Path)
+			c.Steps = append(c.Steps, CaseStep{
+				NextHop:  st.Route.NextHop.String(),
+				Kind:     kind,
+				Inferred: rel.String(),
+				Truth:    truRel.String(),
+				Path:     st.Route.Path.String(),
+			})
 		}
-		// The paper's telltale: a later route that is a SUFFIX of the
-		// first (the unnecessary-detour pattern).
 		first := run.Steps[0].Route.Path.Sequence()
 		for _, st := range run.Steps[1:] {
-			seq := st.Route.Path.Sequence()
-			if isSuffix(seq, first) {
-				fmt.Fprintf(w, "  note: the fallback route is a suffix of the first — the first included an unnecessary detour\n")
+			if isSuffix(st.Route.Path.Sequence(), first) {
+				c.SuffixNote = true
 				break
 			}
 		}
-		if x.ResearchPreference {
+		res.Cases = append(res.Cases, c)
+	}
+	return res
+}
+
+func (r *CaseStudiesResult) render(w io.Writer) {
+	fmt.Fprintln(w, "Section 4.4 case studies: preference orders violating both model properties")
+	for i, c := range r.Cases {
+		fmt.Fprintf(w, "\ncase %d: %s (%s, %s)\n", i+1, c.Target, c.Class, c.Country)
+		for j, st := range c.Steps {
+			fmt.Fprintf(w, "  choice #%d: via %s%s, inferred %s (truth %s), path [%s]\n",
+				j+1, st.NextHop, st.Kind, st.Inferred, st.Truth, st.Path)
+		}
+		if c.SuffixNote {
+			fmt.Fprintf(w, "  note: the fallback route is a suffix of the first — the first included an unnecessary detour\n")
+		}
+		if c.ResearchPreference {
 			fmt.Fprintf(w, "  ground truth: this AS prefers research paths regardless of business class\n")
 		}
 	}
-	if shown == 0 {
+	if len(r.Cases) == 0 {
 		fmt.Fprintln(w, "  (none found at this seed — paper found 3 among 360 targets)")
 	}
 	fmt.Fprintln(w)
+}
+
+func runCaseStudies(_ context.Context, env *Env) (Result, error) {
+	return computeCaseStudies(env.S, rand.New(rand.NewSource(env.Seed+3))), nil
+}
+
+// CaseStudies renders the §4.4 case studies from a caller-owned rand
+// stream (classic entry point).
+func CaseStudies(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+	computeCaseStudies(s, rng).render(w)
 }
 
 // isSuffix reports whether needle is a suffix of hay.

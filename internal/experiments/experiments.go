@@ -1,11 +1,14 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation. Each driver consumes a shared scenario.Scenario
-// and renders the same rows/series the paper reports, so a full run can
-// be compared side by side with the published numbers (EXPERIMENTS.md
-// records that comparison).
+// and computes a structured Result carrying the same rows/series the
+// paper reports; Render turns a Result into the fixed-width text report
+// (EXPERIMENTS.md records the side-by-side comparison with the
+// published numbers), and cmd/routelabd serves the same Results as
+// JSON. See registry.go for the dispatch API.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -15,7 +18,6 @@ import (
 	"routelab/internal/atlas"
 	"routelab/internal/classify"
 	"routelab/internal/geo"
-	"routelab/internal/obs"
 	"routelab/internal/parallel"
 	"routelab/internal/report"
 	"routelab/internal/scenario"
@@ -23,9 +25,25 @@ import (
 	"routelab/internal/topology"
 )
 
-// Table1 reports the distribution of selected probes by AS class
+// --- Table 1 ----------------------------------------------------------
+
+// Table1Row is one AS class's probe-distribution row.
+type Table1Row struct {
+	Class     string `json:"class"`
+	Probes    int    `json:"probes"`
+	ASes      int    `json:"ases"`
+	Countries int    `json:"countries"`
+}
+
+// Table1Result reports the distribution of selected probes by AS class
 // (paper §3.1, Table 1), using the degree-based categorization.
-func Table1(w io.Writer, s *scenario.Scenario) {
+type Table1Result struct {
+	Rows        []Table1Row `json:"rows"`
+	TotalProbes int         `json:"total_probes"`
+	TotalASes   int         `json:"total_ases"`
+}
+
+func computeTable1(s *scenario.Scenario) *Table1Result {
 	type agg struct {
 		probes    int
 		ases      map[asn.ASN]bool
@@ -43,40 +61,77 @@ func Table1(w io.Writer, s *scenario.Scenario) {
 		a.ases[p.AS] = true
 		a.countries[s.Topo.World.CountryOf(p.City)] = true
 	}
-	t := report.NewTable("Table 1: distribution of selected probes",
-		"AS type", "Probes", "Distinct ASes", "Distinct Countries")
+	res := &Table1Result{}
 	totalASes := map[asn.ASN]bool{}
-	totalProbes := 0
 	for _, cls := range []topology.Class{topology.Stub, topology.SmallISP, topology.LargeISP, topology.Tier1} {
 		a := perClass[cls]
 		if a == nil {
 			a = &agg{ases: map[asn.ASN]bool{}, countries: map[geo.CountryCode]bool{}}
 		}
-		t.Row(cls.String(), a.probes, len(a.ases), len(a.countries))
-		totalProbes += a.probes
+		res.Rows = append(res.Rows, Table1Row{
+			Class:     cls.String(),
+			Probes:    a.probes,
+			ASes:      len(a.ases),
+			Countries: len(a.countries),
+		})
+		res.TotalProbes += a.probes
 		for x := range a.ases {
 			totalASes[x] = true
 		}
 	}
+	res.TotalASes = len(totalASes)
+	return res
+}
+
+func (r *Table1Result) render(w io.Writer) {
+	t := report.NewTable("Table 1: distribution of selected probes",
+		"AS type", "Probes", "Distinct ASes", "Distinct Countries")
+	for _, row := range r.Rows {
+		t.Row(row.Class, row.Probes, row.ASes, row.Countries)
+	}
 	t.Note("%d probes total in %d ASes (paper: 1,998 probes, 633 ASes)",
-		totalProbes, len(totalASes))
+		r.TotalProbes, r.TotalASes)
 	t.Render(w)
 }
 
-// Figure1 reports the decision breakdown across the refinement columns
-// (paper §4, Figure 1). The seven columns are classified concurrently
-// (each refinement is an independent pass over the decision set, sharing
-// only classify.Context's synchronized model caches) and rendered in the
-// fixed Refinements order, so the figure bytes do not depend on the
-// worker count.
-func Figure1(w io.Writer, s *scenario.Scenario) {
+func runTable1(_ context.Context, env *Env) (Result, error) {
+	return computeTable1(env.S), nil
+}
+
+// Table1 renders Table 1 directly — the classic print-style entry
+// point, kept for the bench harness and examples.
+func Table1(w io.Writer, s *scenario.Scenario) { computeTable1(s).render(w) }
+
+// --- Figure 1 ---------------------------------------------------------
+
+// Figure1Row is one refinement column's category shares (legend order:
+// Best/Short, NonBest/Short, Best/Long, NonBest/Long), in percent.
+type Figure1Row struct {
+	Refinement string    `json:"refinement"`
+	Shares     []float64 `json:"shares"`
+}
+
+// Figure1Result reports the decision breakdown across the refinement
+// columns (paper §4, Figure 1).
+type Figure1Result struct {
+	Decisions       int          `json:"decisions"`
+	Traces          int          `json:"traces"`
+	DestinationASes int          `json:"destination_ases"`
+	Rows            []Figure1Row `json:"rows"`
+}
+
+// computeFigure1 classifies the seven columns concurrently (each
+// refinement is an independent pass over the decision set, sharing only
+// classify.Context's synchronized model caches); rows follow the fixed
+// Refinements order, so the figure bytes do not depend on the worker
+// count.
+func computeFigure1(s *scenario.Scenario) *Figure1Result {
 	ds := s.Decisions()
-	bars := report.NewStackedBars(
-		fmt.Sprintf("Figure 1: routing-decision breakdown (%d decisions from %d traceroutes, %d destination ASes)",
-			len(ds), len(s.Measurements), s.DestinationASes()),
-		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
-	t := report.NewTable("Figure 1 (numeric)", "Refinement",
-		"Best/Short%", "NonBest/Short%", "Best/Long%", "NonBest/Long%")
+	res := &Figure1Result{
+		Decisions:       len(ds),
+		Traces:          len(s.Measurements),
+		DestinationASes: s.DestinationASes(),
+	}
 	breakdowns := parallel.MapStage("experiments/figure1-breakdowns", classify.Refinements, s.Cfg.RoutingWorkers,
 		func(_ int, ref classify.Refinement) map[classify.Category]int {
 			return s.Context.Breakdown(ds, ref)
@@ -91,75 +146,172 @@ func Figure1(w io.Writer, s *scenario.Scenario) {
 		for _, cat := range classify.Categories {
 			shares = append(shares, stats.Pct(bd[cat], total))
 		}
-		bars.Column(ref.String(), shares...)
-		t.Row(ref.String(), shares[0], shares[1], shares[2], shares[3])
+		res.Rows = append(res.Rows, Figure1Row{Refinement: ref.String(), Shares: shares})
+	}
+	return res
+}
+
+func (r *Figure1Result) render(w io.Writer) {
+	bars := report.NewStackedBars(
+		fmt.Sprintf("Figure 1: routing-decision breakdown (%d decisions from %d traceroutes, %d destination ASes)",
+			r.Decisions, r.Traces, r.DestinationASes),
+		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
+	t := report.NewTable("Figure 1 (numeric)", "Refinement",
+		"Best/Short%", "NonBest/Short%", "Best/Long%", "NonBest/Long%")
+	for _, row := range r.Rows {
+		bars.Column(row.Refinement, row.Shares...)
+		t.Row(row.Refinement, row.Shares[0], row.Shares[1], row.Shares[2], row.Shares[3])
 	}
 	t.Note("paper: Simple Best/Short 64.7%%, NonBest/Long 8.3%%; All-1 85.7%%, All-2 75.7%%")
 	bars.Render(w)
 	t.Render(w)
 }
 
-// Table2 reports the magnet experiment's decision-step breakdown
+func runFigure1(_ context.Context, env *Env) (Result, error) {
+	return computeFigure1(env.S), nil
+}
+
+// Figure1 renders Figure 1 directly (classic entry point).
+func Figure1(w io.Writer, s *scenario.Scenario) { computeFigure1(s).render(w) }
+
+// --- Table 2 ----------------------------------------------------------
+
+// Table2Row is one BGP-decision-step row of Table 2.
+type Table2Row struct {
+	Cause  string `json:"cause"`
+	Feeds  int    `json:"feeds"`
+	Traces int    `json:"traces"`
+}
+
+// Table2Result reports the magnet experiment's decision-step breakdown
 // (paper §3.2/§4.4, Table 2) for the feed and traceroute channels.
-func Table2(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+type Table2Result struct {
+	Rows       []Table2Row `json:"rows"`
+	FeedTotal  int         `json:"feed_total"`
+	TraceTotal int         `json:"trace_total"`
+}
+
+func computeTable2(s *scenario.Scenario, rng *rand.Rand) *Table2Result {
 	mc := s.RunMagnetCampaign(rng)
 	feed := s.Context.MagnetBreakdown(mc.FeedDecisions)
 	trace := s.Context.MagnetBreakdown(mc.TraceDecisions)
-	feedTotal, traceTotal := 0, 0
+	res := &Table2Result{}
 	for _, n := range feed {
-		feedTotal += n
+		res.FeedTotal += n
 	}
 	for _, n := range trace {
-		traceTotal += n
+		res.TraceTotal += n
 	}
+	for _, c := range classify.MagnetCauses {
+		res.Rows = append(res.Rows, Table2Row{Cause: c.String(), Feeds: feed[c], Traces: trace[c]})
+	}
+	return res
+}
+
+func (r *Table2Result) render(w io.Writer) {
 	t := report.NewTable("Table 2: BGP decisions after anycasting the magnet prefix",
 		"BGP decision", "Feeds", "Feeds%", "Traceroutes", "Traceroutes%")
-	for _, c := range classify.MagnetCauses {
-		t.Row(c.String(), feed[c], stats.Pct(feed[c], feedTotal),
-			trace[c], stats.Pct(trace[c], traceTotal))
+	for _, row := range r.Rows {
+		t.Row(row.Cause, row.Feeds, stats.Pct(row.Feeds, r.FeedTotal),
+			row.Traces, stats.Pct(row.Traces, r.TraceTotal))
 	}
-	t.Row("Total", feedTotal, 100.0, traceTotal, 100.0)
+	t.Row("Total", r.FeedTotal, 100.0, r.TraceTotal, 100.0)
 	t.Note("paper (feeds): best 46.0%%, shorter 16.0%%, intradomain 16.4%%, oldest 2.5%%, violation 18.9%%")
 	t.Note("paper (traceroutes): best 42.4%%, shorter 29.4%%, intradomain 15.6%%, oldest 1.6%%, violation 10.8%%")
 	t.Render(w)
 }
 
-// Figure2 reports the violation skew across source and destination ASes
-// (paper §5, Figure 2).
-func Figure2(w io.Writer, s *scenario.Scenario) {
+func runTable2(_ context.Context, env *Env) (Result, error) {
+	return computeTable2(env.S, rand.New(rand.NewSource(env.Seed))), nil
+}
+
+// Table2 renders Table 2 from a caller-owned rand stream (classic entry
+// point).
+func Table2(w io.Writer, s *scenario.Scenario, rng *rand.Rand) { computeTable2(s, rng).render(w) }
+
+// --- Figure 2 ---------------------------------------------------------
+
+// Figure2TopRow is one top-violator row of Figure 2's table.
+type Figure2TopRow struct {
+	Rank  int    `json:"rank"`
+	AS    string `json:"as"`
+	Class string `json:"class"`
+	Count int    `json:"count"`
+}
+
+// Figure2Side is one direction (source or destination ASes) of the
+// violation-skew analysis.
+type Figure2Side struct {
+	ByDestination bool            `json:"by_destination"`
+	CDF           []float64       `json:"cdf"`
+	Top           []Figure2TopRow `json:"top"`
+	Total         int             `json:"total"`
+	Gini          float64         `json:"gini"`
+}
+
+// Figure2Result reports the violation skew across source and
+// destination ASes (paper §5, Figure 2).
+type Figure2Result struct {
+	Sides []Figure2Side `json:"sides"`
+}
+
+func computeFigure2(s *scenario.Scenario) *Figure2Result {
+	res := &Figure2Result{}
 	for _, byDst := range []bool{false, true} {
-		kind := "source"
-		if byDst {
-			kind = "destination"
-		}
 		sk := s.Context.ViolationSkew(s.Measurements, classify.Simple, byDst)
 		counts := make([]int, len(sk))
 		for i, p := range sk {
 			counts[i] = p.Count
 		}
-		cdf := stats.CDF(counts)
-		report.Series(w, fmt.Sprintf("Figure 2 CDF of violations across %s ASes (ranked)", kind),
-			stats.Downsample(cdf, 12))
-		t := report.NewTable(fmt.Sprintf("Figure 2: top %s ASes by violation share", kind),
-			"Rank", "AS", "Class", "Violations", "Share%")
-		total := 0
+		side := Figure2Side{
+			ByDestination: byDst,
+			CDF:           stats.Downsample(stats.CDF(counts), 12),
+			Gini:          stats.Gini(counts),
+		}
 		for _, c := range counts {
-			total += c
+			side.Total += c
 		}
 		for i := 0; i < len(sk) && i < 5; i++ {
 			cls := "?"
 			if x := s.Topo.AS(sk[i].AS); x != nil {
 				cls = x.Class.String()
+				// An AS can carry several topology names; Names is a map,
+				// so sort the matches to keep the label deterministic.
+				var names []string
 				for name, a := range s.Topo.Names {
 					if a == sk[i].AS {
-						cls += " (" + name + ")"
+						names = append(names, name)
 					}
 				}
+				sort.Strings(names)
+				for _, name := range names {
+					cls += " (" + name + ")"
+				}
 			}
-			t.Row(i+1, sk[i].AS.String(), cls, sk[i].Count, stats.Pct(sk[i].Count, total))
+			side.Top = append(side.Top, Figure2TopRow{
+				Rank: i + 1, AS: sk[i].AS.String(), Class: cls, Count: sk[i].Count,
+			})
 		}
-		t.Note("gini=%.2f", stats.Gini(counts))
-		if byDst {
+		res.Sides = append(res.Sides, side)
+	}
+	return res
+}
+
+func (r *Figure2Result) render(w io.Writer) {
+	for _, side := range r.Sides {
+		kind := "source"
+		if side.ByDestination {
+			kind = "destination"
+		}
+		report.Series(w, fmt.Sprintf("Figure 2 CDF of violations across %s ASes (ranked)", kind),
+			side.CDF)
+		t := report.NewTable(fmt.Sprintf("Figure 2: top %s ASes by violation share", kind),
+			"Rank", "AS", "Class", "Violations", "Share%")
+		for _, row := range side.Top {
+			t.Row(row.Rank, row.AS, row.Class, row.Count, stats.Pct(row.Count, side.Total))
+		}
+		t.Note("gini=%.2f", side.Gini)
+		if side.ByDestination {
 			t.Note("paper: Akamai 21%%, Netflix 17%% of destination-side violations")
 		} else {
 			t.Note("paper: Cogent 4.1%%, Time Warner 2.2%% of source-side violations")
@@ -168,12 +320,33 @@ func Figure2(w io.Writer, s *scenario.Scenario) {
 	}
 }
 
-// Figure3 reports the per-continent decision breakdown (paper §6,
+func runFigure2(_ context.Context, env *Env) (Result, error) {
+	return computeFigure2(env.S), nil
+}
+
+// Figure2 renders Figure 2 directly (classic entry point).
+func Figure2(w io.Writer, s *scenario.Scenario) { computeFigure2(s).render(w) }
+
+// --- Figure 3 ---------------------------------------------------------
+
+// Figure3Column is one stacked bar of the geography breakdown.
+type Figure3Column struct {
+	Label  string    `json:"label"`
+	Shares []float64 `json:"shares"`
+}
+
+// Figure3Result reports the per-continent decision breakdown (paper §6,
 // Figure 3).
-func Figure3(w io.Writer, s *scenario.Scenario) {
+type Figure3Result struct {
+	Columns []Figure3Column `json:"columns"`
+	// ContinentalPct is the share of decisions on single-continent
+	// traceroutes.
+	ContinentalPct float64 `json:"continental_pct"`
+}
+
+func computeFigure3(s *scenario.Scenario) *Figure3Result {
 	gb := s.Context.GeoClassify(s.Measurements, classify.Simple)
-	bars := report.NewStackedBars("Figure 3: decisions by traceroute geography",
-		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
+	res := &Figure3Result{}
 	emit := func(label string, counts map[classify.Category]int) {
 		total := 0
 		for _, n := range counts {
@@ -186,7 +359,10 @@ func Figure3(w io.Writer, s *scenario.Scenario) {
 		for _, cat := range classify.Categories {
 			shares = append(shares, stats.Pct(counts[cat], total))
 		}
-		bars.Column(fmt.Sprintf("%s (n=%d)", label, total), shares...)
+		res.Columns = append(res.Columns, Figure3Column{
+			Label:  fmt.Sprintf("%s (n=%d)", label, total),
+			Shares: shares,
+		})
 	}
 	for _, cont := range []geo.Continent{geo.AF, geo.NA, geo.EU, geo.SA, geo.AS} {
 		emit(cont.String(), gb.PerContinent[cont])
@@ -200,148 +376,237 @@ func Figure3(w io.Writer, s *scenario.Scenario) {
 	for _, n := range gb.Intercontinental {
 		interTotal += n
 	}
-	bars.Render(w)
-	fmt.Fprintf(w, "continental decisions: %.1f%% of dataset (paper: ~45%%)\n\n",
-		stats.Pct(contTotal, contTotal+interTotal))
+	res.ContinentalPct = stats.Pct(contTotal, contTotal+interTotal)
+	return res
 }
 
-// Table3 reports the share of NonBest/Short decisions explained by
-// domestic-path preference (paper §6, Table 3).
-func Table3(w io.Writer, s *scenario.Scenario) {
+func (r *Figure3Result) render(w io.Writer) {
+	bars := report.NewStackedBars("Figure 3: decisions by traceroute geography",
+		"Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long")
+	for _, c := range r.Columns {
+		bars.Column(c.Label, c.Shares...)
+	}
+	bars.Render(w)
+	fmt.Fprintf(w, "continental decisions: %.1f%% of dataset (paper: ~45%%)\n\n",
+		r.ContinentalPct)
+}
+
+func runFigure3(_ context.Context, env *Env) (Result, error) {
+	return computeFigure3(env.S), nil
+}
+
+// Figure3 renders Figure 3 directly (classic entry point).
+func Figure3(w io.Writer, s *scenario.Scenario) { computeFigure3(s).render(w) }
+
+// --- Table 3 ----------------------------------------------------------
+
+// Table3Row is one continent's domestic-preference attribution row.
+type Table3Row struct {
+	Continent    string `json:"continent"`
+	NonBestShort int    `json:"nonbest_short"`
+	Explained    int    `json:"explained"`
+}
+
+// Table3Result reports the share of NonBest/Short decisions explained
+// by domestic-path preference (paper §6, Table 3).
+type Table3Result struct {
+	Rows              []Table3Row `json:"rows"`
+	TotalNonBestShort int         `json:"total_nonbest_short"`
+	TotalExplained    int         `json:"total_explained"`
+}
+
+func computeTable3(s *scenario.Scenario) *Table3Result {
 	rows := s.Context.DomesticAnalysis(s.Measurements, classify.Simple)
+	res := &Table3Result{}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, Table3Row{
+			Continent:    r.Continent.Name(),
+			NonBestShort: r.NonBestShort,
+			Explained:    r.Explained,
+		})
+		res.TotalNonBestShort += r.NonBestShort
+		res.TotalExplained += r.Explained
+	}
+	return res
+}
+
+func (r *Table3Result) render(w io.Writer) {
 	t := report.NewTable("Table 3: NonBest/Short decisions explained by intra-country preference",
 		"Continent", "NonBest/Short", "Explained", "Explained%")
-	totalNBS, totalExp := 0, 0
-	for _, r := range rows {
-		t.Row(r.Continent.Name(), r.NonBestShort, r.Explained, stats.Pct(r.Explained, r.NonBestShort))
-		totalNBS += r.NonBestShort
-		totalExp += r.Explained
+	for _, row := range r.Rows {
+		t.Row(row.Continent, row.NonBestShort, row.Explained, stats.Pct(row.Explained, row.NonBestShort))
 	}
-	t.Row("All", totalNBS, totalExp, stats.Pct(totalExp, totalNBS))
+	t.Row("All", r.TotalNonBestShort, r.TotalExplained, stats.Pct(r.TotalExplained, r.TotalNonBestShort))
 	t.Note("paper: >40%% of such decisions explained overall")
 	t.Render(w)
 }
 
-// Table4 reports the undersea-cable attribution (paper §6, Table 4).
-func Table4(w io.Writer, s *scenario.Scenario) {
+func runTable3(_ context.Context, env *Env) (Result, error) {
+	return computeTable3(env.S), nil
+}
+
+// Table3 renders Table 3 directly (classic entry point).
+func Table3(w io.Writer, s *scenario.Scenario) { computeTable3(s).render(w) }
+
+// --- Table 4 ----------------------------------------------------------
+
+// Table4Row is one violation category's undersea-cable attribution row.
+type Table4Row struct {
+	Category  string `json:"category"`
+	Total     int    `json:"total"`
+	WithCable int    `json:"with_cable"`
+}
+
+// Table4Result reports the undersea-cable attribution (paper §6,
+// Table 4).
+type Table4Result struct {
+	Rows []Table4Row `json:"rows"`
+	// PathsWithCable / TotalPaths give the "<2% of paths" figure;
+	// CableDeviations / CableDecisions the "51.2% deviate" figure.
+	PathsWithCable  int `json:"paths_with_cable"`
+	TotalPaths      int `json:"total_paths"`
+	CableDeviations int `json:"cable_deviations"`
+	CableDecisions  int `json:"cable_decisions"`
+}
+
+func computeTable4(s *scenario.Scenario) *Table4Result {
 	st := s.Context.CableAnalysis(s.Measurements, classify.Simple)
-	t := report.NewTable("Table 4: decisions attributable to undersea-cable ASes",
-		"Violation type", "Decisions", "With cable", "Explained%")
+	res := &Table4Result{
+		PathsWithCable:  st.PathsWithCable,
+		TotalPaths:      st.TotalPaths,
+		CableDeviations: st.CableDeviations,
+		CableDecisions:  st.CableDecisions,
+	}
 	for _, r := range st.Rows {
 		if !r.Category.IsViolation() {
 			continue
 		}
-		t.Row(r.Category.String(), r.Total, r.WithCable, stats.Pct(r.WithCable, r.Total))
+		res.Rows = append(res.Rows, Table4Row{
+			Category: r.Category.String(), Total: r.Total, WithCable: r.WithCable,
+		})
 	}
-	t.Note("cable ASes on %.1f%% of paths (paper: <2%%)", stats.Pct(st.PathsWithCable, st.TotalPaths))
+	return res
+}
+
+func (r *Table4Result) render(w io.Writer) {
+	t := report.NewTable("Table 4: decisions attributable to undersea-cable ASes",
+		"Violation type", "Decisions", "With cable", "Explained%")
+	for _, row := range r.Rows {
+		t.Row(row.Category, row.Total, row.WithCable, stats.Pct(row.WithCable, row.Total))
+	}
+	t.Note("cable ASes on %.1f%% of paths (paper: <2%%)", stats.Pct(r.PathsWithCable, r.TotalPaths))
 	t.Note("%.1f%% of cable-involved decisions deviate (paper: 51.2%%)",
-		stats.Pct(st.CableDeviations, st.CableDecisions))
+		stats.Pct(r.CableDeviations, r.CableDecisions))
 	t.Note("paper: NonBest&Short 3.0%%, Best&Long 6.5%%, NonBest&Long 4.5%%")
 	t.Render(w)
 }
 
-// PSPValidation reports the §4.3 validation of prefix-specific-policy
+func runTable4(_ context.Context, env *Env) (Result, error) {
+	return computeTable4(env.S), nil
+}
+
+// Table4 renders Table 4 directly (classic entry point).
+func Table4(w io.Writer, s *scenario.Scenario) { computeTable4(s).render(w) }
+
+// --- §4.3 validation --------------------------------------------------
+
+// PSPResult reports the §4.3 validation of prefix-specific-policy
 // inferences against operator looking glasses.
-func PSPValidation(w io.Writer, s *scenario.Scenario) {
+type PSPResult struct {
+	Cases           int `json:"cases"`
+	NeighborsWithLG int `json:"neighbors_with_lg"`
+	Checked         int `json:"checked"`
+	Confirmed       int `json:"confirmed"`
+}
+
+func computePSPValidation(s *scenario.Scenario) *PSPResult {
 	cases := s.Context.CollectPSPCases(s.Measurements)
 	v := s.Context.ValidatePSP(cases, s.LookingGlasses)
+	return &PSPResult{
+		Cases:           v.Cases,
+		NeighborsWithLG: v.NeighborsWithLG,
+		Checked:         v.Checked,
+		Confirmed:       v.Confirmed,
+	}
+}
+
+func (r *PSPResult) render(w io.Writer) {
 	t := report.NewTable("Section 4.3 validation: prefix-specific policies vs looking glasses",
 		"Metric", "Value")
-	t.Row("PSP cases (Criteria 1)", v.Cases)
-	t.Row("Masked-edge neighbors with a looking glass", v.NeighborsWithLG)
-	t.Row("Cases checked", v.Checked)
-	t.Row("Cases confirmed", v.Confirmed)
-	t.Row("Confirmed %", stats.Pct(v.Confirmed, v.Checked))
+	t.Row("PSP cases (Criteria 1)", r.Cases)
+	t.Row("Masked-edge neighbors with a looking glass", r.NeighborsWithLG)
+	t.Row("Cases checked", r.Checked)
+	t.Row("Cases confirmed", r.Confirmed)
+	t.Row("Confirmed %", stats.Pct(r.Confirmed, r.Checked))
 	t.Note("paper: 63 cases, 149 neighbors, LGs in 28, Criteria 1 correct 78%% of checked cases")
 	t.Render(w)
 }
 
-// Alternates reports the §4.4 alternate-route discovery campaign.
-func Alternates(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+func runPSPValidation(_ context.Context, env *Env) (Result, error) {
+	return computePSPValidation(env.S), nil
+}
+
+// PSPValidation renders the §4.3 validation directly (classic entry
+// point).
+func PSPValidation(w io.Writer, s *scenario.Scenario) { computePSPValidation(s).render(w) }
+
+// --- §4.4 alternates --------------------------------------------------
+
+// AlternatesRow is one preference-order verdict's tally.
+type AlternatesRow struct {
+	Verdict string `json:"verdict"`
+	Targets int    `json:"targets"`
+}
+
+// AlternatesResult reports the §4.4 alternate-route discovery campaign.
+type AlternatesResult struct {
+	Rows          []AlternatesRow `json:"rows"`
+	Targets       int             `json:"targets"`
+	Announcements int             `json:"announcements"`
+	LinksObserved int             `json:"links_observed"`
+	LinksMissing  int             `json:"links_missing"`
+	// LinksOnlyPoisoned is the subset of missing links visible only
+	// after poisoning forced an alternate (the "22.2%" of §3.2).
+	LinksOnlyPoisoned int `json:"links_only_poisoned"`
+}
+
+func computeAlternates(s *scenario.Scenario, rng *rand.Rand) *AlternatesResult {
 	runs := s.RunAlternatesCampaign(rng)
 	sum := s.Context.SummarizeAlternates(runs)
+	res := &AlternatesResult{
+		Targets:           sum.Targets,
+		Announcements:     sum.Announcements,
+		LinksObserved:     sum.LinksObserved,
+		LinksMissing:      sum.LinksMissing,
+		LinksOnlyPoisoned: sum.LinksOnlyPoisoned,
+	}
+	for _, v := range []classify.AlternateVerdict{classify.AltBestShort, classify.AltBestOnly, classify.AltShortOnly, classify.AltNeither} {
+		res.Rows = append(res.Rows, AlternatesRow{Verdict: v.String(), Targets: sum.Verdicts[v]})
+	}
+	return res
+}
+
+func (r *AlternatesResult) render(w io.Writer) {
 	t := report.NewTable("Section 4.4: alternate-route preference orders",
 		"Verdict", "Targets", "Share%")
-	for _, v := range []classify.AlternateVerdict{classify.AltBestShort, classify.AltBestOnly, classify.AltShortOnly, classify.AltNeither} {
-		t.Row(v.String(), sum.Verdicts[v], stats.Pct(sum.Verdicts[v], sum.Targets))
+	for _, row := range r.Rows {
+		t.Row(row.Verdict, row.Targets, stats.Pct(row.Targets, r.Targets))
 	}
-	t.Row("Total", sum.Targets, 100.0)
-	t.Note("%d distinct announcements (paper: 188 for 360 targets)", sum.Announcements)
+	t.Row("Total", r.Targets, 100.0)
+	t.Note("%d distinct announcements (paper: 188 for 360 targets)", r.Announcements)
 	t.Note("%d inter-AS links observed; %d absent from inferred topology; %d (%.1f%%) visible only via poisoning",
-		sum.LinksObserved, sum.LinksMissing, sum.LinksOnlyPoisoned,
-		stats.Pct(sum.LinksOnlyPoisoned, sum.LinksMissing))
+		r.LinksObserved, r.LinksMissing, r.LinksOnlyPoisoned,
+		stats.Pct(r.LinksOnlyPoisoned, r.LinksMissing))
 	t.Note("paper: 86.1%% both, 8.0%% best only, 5.0%% shortest only, 0.8%% neither; 739 links, 45 missing, 22.2%% poison-only")
 	t.Render(w)
 }
 
-// timed runs one experiment driver under its obs stage timer
-// ("experiment/<name>"), so a -metrics-json report breaks the run's
-// wall clock down per table/figure.
-func timed(name string, fn func()) {
-	defer obs.StartStage("experiment/" + name)()
-	obs.Inc("experiments.runs")
-	fn()
+func runAlternates(_ context.Context, env *Env) (Result, error) {
+	return computeAlternates(env.S, rand.New(rand.NewSource(env.Seed+1))), nil
 }
 
-// All runs every experiment in paper order.
-func All(w io.Writer, s *scenario.Scenario, seed int64) {
-	timed("table1", func() { Table1(w, s) })
-	timed("figure1", func() { Figure1(w, s) })
-	timed("table2", func() { Table2(w, s, rand.New(rand.NewSource(seed))) })
-	timed("figure2", func() { Figure2(w, s) })
-	timed("figure3", func() { Figure3(w, s) })
-	timed("table3", func() { Table3(w, s) })
-	timed("table4", func() { Table4(w, s) })
-	timed("pspvalidation", func() { PSPValidation(w, s) })
-	timed("alternates", func() { Alternates(w, s, rand.New(rand.NewSource(seed+1))) })
-	timed("casestudies", func() { CaseStudies(w, s, rand.New(rand.NewSource(seed+3))) })
-	timed("accuracy", func() { InferenceAccuracy(w, s) })
-	timed("prediction", func() { Prediction(w, s) })
-	timed("ablations", func() { Ablations(w, s, rand.New(rand.NewSource(seed+2))) })
-}
-
-// Names lists the experiment identifiers the CLI accepts.
-func Names() []string {
-	out := []string{"table1", "figure1", "table2", "figure2", "figure3", "table3", "table4", "pspvalidation", "alternates", "ablations", "accuracy", "casestudies", "prediction", "all"}
-	sort.Strings(out)
-	return out
-}
-
-// Run dispatches one experiment by name. Each experiment runs under an
-// obs stage timer; "all" times every sub-experiment individually (via
-// All) rather than as one lump.
-func Run(name string, w io.Writer, s *scenario.Scenario, seed int64) error {
-	switch name {
-	case "table1":
-		timed(name, func() { Table1(w, s) })
-	case "figure1":
-		timed(name, func() { Figure1(w, s) })
-	case "table2":
-		timed(name, func() { Table2(w, s, rand.New(rand.NewSource(seed))) })
-	case "figure2":
-		timed(name, func() { Figure2(w, s) })
-	case "figure3":
-		timed(name, func() { Figure3(w, s) })
-	case "table3":
-		timed(name, func() { Table3(w, s) })
-	case "table4":
-		timed(name, func() { Table4(w, s) })
-	case "pspvalidation":
-		timed(name, func() { PSPValidation(w, s) })
-	case "ablations":
-		timed(name, func() { Ablations(w, s, rand.New(rand.NewSource(seed+2))) })
-	case "accuracy":
-		timed(name, func() { InferenceAccuracy(w, s) })
-	case "casestudies":
-		timed(name, func() { CaseStudies(w, s, rand.New(rand.NewSource(seed+3))) })
-	case "prediction":
-		timed(name, func() { Prediction(w, s) })
-	case "alternates":
-		timed(name, func() { Alternates(w, s, rand.New(rand.NewSource(seed+1))) })
-	case "all":
-		All(w, s, seed)
-	default:
-		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
-	}
-	return nil
+// Alternates renders the §4.4 campaign from a caller-owned rand stream
+// (classic entry point).
+func Alternates(w io.Writer, s *scenario.Scenario, rng *rand.Rand) {
+	computeAlternates(s, rng).render(w)
 }

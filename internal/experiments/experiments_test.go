@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"math/rand"
+	"os"
 	"strings"
 	"testing"
 
@@ -41,6 +44,48 @@ func TestAllExperimentsRender(t *testing.T) {
 	}
 }
 
+// TestGoldenOutput pins the registry redesign to the pre-registry
+// print-style output: every experiment's rendering must be
+// byte-identical to the goldens captured from the original drivers
+// (testdata/<name>_seed7.golden, test scale, seed 7). Regenerate with
+// WRITE_GOLDEN=1 go test ./internal/experiments -run TestGoldenOutput
+// — but only after an INTENTIONAL output change.
+func TestGoldenOutput(t *testing.T) {
+	s := testScenario(t)
+	update := os.Getenv("WRITE_GOLDEN") != ""
+	check := func(name, got string) {
+		t.Helper()
+		path := "testdata/" + name + "_seed7.golden"
+		if update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: output differs from golden %s (len got %d, want %d)",
+				name, path, len(got), len(want))
+		}
+	}
+	var b strings.Builder
+	All(&b, s, 7)
+	check("all", b.String())
+	for _, name := range Names() {
+		if name == "all" {
+			continue
+		}
+		var nb strings.Builder
+		if err := Run(name, &nb, s, 7); err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		check(name, nb.String())
+	}
+}
+
 func TestRunDispatch(t *testing.T) {
 	s := testScenario(t)
 	for _, name := range Names() {
@@ -57,6 +102,73 @@ func TestRunDispatch(t *testing.T) {
 	}
 	if err := Run("nope", &strings.Builder{}, s, 7); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRegistryAPI exercises the structured side of the redesign: every
+// registered experiment returns a JSON-marshalable Result whose Render
+// matches the text the classic entry points emit, and Run honors
+// context cancellation.
+func TestRegistryAPI(t *testing.T) {
+	s := testScenario(t)
+	env := &Env{S: s, Seed: 7}
+	for _, name := range []string{"table1", "figure1", "figure3", "prediction", "accuracy"} {
+		exp, ok := Get(name)
+		if !ok {
+			t.Fatalf("Get(%s) missing", name)
+		}
+		if exp.Name() != name {
+			t.Errorf("Name() = %q, want %q", exp.Name(), name)
+		}
+		res, err := exp.Run(context.Background(), env)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal %s result: %v", name, err)
+		}
+		if len(data) < 10 {
+			t.Errorf("%s: suspiciously small JSON (%s)", name, data)
+		}
+		if Render(res) == "" {
+			t.Errorf("%s: empty rendering", name)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exp, _ := Get("table1")
+	if _, err := exp.Run(ctx, env); err == nil {
+		t.Error("Run with canceled context succeeded, want error")
+	}
+	if err := RunContext(ctx, "figure1", &strings.Builder{}, s, 7); err == nil {
+		t.Error("RunContext with canceled context succeeded, want error")
+	}
+}
+
+// TestResultDeterminism re-runs a rand-consuming experiment twice with
+// the same seed and demands identical JSON — the property the service
+// cache and the concurrent-vs-serial contract lean on.
+func TestResultDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reruns the alternates campaign")
+	}
+	s := testScenario(t)
+	env := &Env{S: s, Seed: 7}
+	exp, _ := Get("alternates")
+	r1, err := exp.Run(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := exp.Run(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Error("same-seed alternates results differ")
 	}
 }
 

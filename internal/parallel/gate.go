@@ -1,0 +1,54 @@
+package parallel
+
+import "context"
+
+// A Gate bounds admission to a shared resource: at most N holders at
+// once, extra callers queue. It is the request-side complement of the
+// worker pools above — Map/ForEach bound CPU fan-out inside one
+// computation, a Gate bounds how many computations run at all (e.g.
+// concurrent service requests over one warm scenario).
+//
+// Unlike a bare buffered channel, Enter is context-aware: a caller
+// whose request deadline expires while queued gets ctx.Err() back
+// instead of occupying a slot it no longer wants.
+//
+// A Gate never affects results — it only sequences WHEN work starts.
+// Work admitted through a Gate must still follow the package's purity
+// rules if it fans out further.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a Gate admitting at most n concurrent holders.
+// n <= 0 selects Workers(0) (GOMAXPROCS), mirroring the worker-count
+// normalization used everywhere else in the package.
+func NewGate(n int) *Gate {
+	return &Gate{slots: make(chan struct{}, Workers(n))}
+}
+
+// Cap reports the admission bound.
+func (g *Gate) Cap() int { return cap(g.slots) }
+
+// Enter blocks until a slot is free or ctx is done. On success it
+// returns nil and the caller MUST call Leave exactly once. On ctx
+// expiry it returns ctx.Err() and the caller holds nothing.
+func (g *Gate) Enter(ctx context.Context) error {
+	// Prefer reporting expiry even when a slot is also free — a dead
+	// request should not start work.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave releases a slot taken by a successful Enter.
+func (g *Gate) Leave() { <-g.slots }
+
+// InUse reports how many slots are currently held (racy by nature;
+// for metrics only).
+func (g *Gate) InUse() int { return len(g.slots) }

@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	g := NewGate(bound)
+	if g.Cap() != bound {
+		t.Fatalf("Cap() = %d, want %d", g.Cap(), bound)
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Enter(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer g.Leave()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > bound {
+		t.Errorf("observed %d concurrent holders, bound %d", p, bound)
+	}
+	if g.InUse() != 0 {
+		t.Errorf("InUse() = %d after drain", g.InUse())
+	}
+}
+
+func TestGateEnterHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Enter(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Enter on a full gate = %v, want DeadlineExceeded", err)
+	}
+	g.Leave()
+
+	// A pre-expired context loses even when a slot is free.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := g.Enter(done); err != context.Canceled {
+		t.Errorf("Enter with canceled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestGateDefaultSizing(t *testing.T) {
+	if g := NewGate(0); g.Cap() != Workers(0) {
+		t.Errorf("NewGate(0).Cap() = %d, want Workers(0) = %d", g.Cap(), Workers(0))
+	}
+	if g := NewGate(-4); g.Cap() != Workers(0) {
+		t.Errorf("NewGate(-4).Cap() = %d, want Workers(0) = %d", g.Cap(), Workers(0))
+	}
+}

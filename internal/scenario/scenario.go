@@ -158,6 +158,9 @@ type Logf func(format string, args ...any)
 // (ASes, links, snapshots, traces, decisions) as obs counters, so a
 // -metrics-json report explains where a build's wall clock went.
 func Build(cfg Config, logf Logf) (*Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}

@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A ConfigError reports one invalid Config field. Validate returns
+// them (possibly several, joined with errors.Join), so callers can
+// match with errors.As and print the offending field.
+type ConfigError struct {
+	Field  string // the Config field, e.g. "NumProbes"
+	Value  any    // the rejected value
+	Reason string // why it was rejected
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("scenario: invalid Config.%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the configuration for values no scenario can be
+// built from. It returns nil for every config Build can handle, and a
+// ConfigError (or several, via errors.Join) otherwise. Both binaries
+// call it before the expensive Build, and Build calls it again as a
+// backstop.
+func (c *Config) Validate() error {
+	var errs []error
+	bad := func(field string, value any, reason string) {
+		errs = append(errs, &ConfigError{Field: field, Value: value, Reason: reason})
+	}
+	if c.RoutingWorkers < 0 {
+		bad("RoutingWorkers", c.RoutingWorkers, "must be >= 0 (0 selects GOMAXPROCS)")
+	}
+	if c.NumVantagePeers <= 0 {
+		bad("NumVantagePeers", c.NumVantagePeers, "need at least one monitor feed per epoch")
+	}
+	if c.HistoricEpochs < 0 {
+		bad("HistoricEpochs", c.HistoricEpochs, "must be >= 0")
+	}
+	if c.CurrentEpochs < 1 {
+		bad("CurrentEpochs", c.CurrentEpochs, "need at least one current epoch (the live RIB)")
+	}
+	if c.NumProbes <= 0 {
+		bad("NumProbes", c.NumProbes, "the campaign needs at least one probe")
+	}
+	if c.TracesTarget <= 0 {
+		bad("TracesTarget", c.TracesTarget, "the campaign needs a positive traceroute budget")
+	}
+	if c.ActiveProbes < 0 {
+		bad("ActiveProbes", c.ActiveProbes, "must be >= 0")
+	}
+	if c.PlanetLabNodes < 0 {
+		bad("PlanetLabNodes", c.PlanetLabNodes, "must be >= 0")
+	}
+	if c.MaxAlternateTargets < 0 {
+		bad("MaxAlternateTargets", c.MaxAlternateTargets, "must be >= 0 (0 = all observed targets)")
+	}
+	if c.Topology.Scale < 0 {
+		bad("Topology.Scale", c.Topology.Scale, "must be >= 0 (0 = default scale 1.0)")
+	}
+	if c.ComplexCoverage < 0 || c.ComplexCoverage > 1 {
+		bad("ComplexCoverage", c.ComplexCoverage, "is a fraction in [0, 1]")
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateDefaults(t *testing.T) {
+	for _, c := range []Config{DefaultConfig(), TestConfig()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("stock config rejected: %v", err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		field  string
+		mutate func(*Config)
+	}{
+		{"RoutingWorkers", func(c *Config) { c.RoutingWorkers = -1 }},
+		{"NumVantagePeers", func(c *Config) { c.NumVantagePeers = 0 }},
+		{"HistoricEpochs", func(c *Config) { c.HistoricEpochs = -2 }},
+		{"CurrentEpochs", func(c *Config) { c.CurrentEpochs = 0 }},
+		{"NumProbes", func(c *Config) { c.NumProbes = 0 }},
+		{"TracesTarget", func(c *Config) { c.TracesTarget = -5 }},
+		{"ActiveProbes", func(c *Config) { c.ActiveProbes = -1 }},
+		{"PlanetLabNodes", func(c *Config) { c.PlanetLabNodes = -1 }},
+		{"MaxAlternateTargets", func(c *Config) { c.MaxAlternateTargets = -1 }},
+		{"Topology.Scale", func(c *Config) { c.Topology.Scale = -0.1 }},
+		{"ComplexCoverage", func(c *Config) { c.ComplexCoverage = 1.5 }},
+	}
+	for _, tc := range cases {
+		c := TestConfig()
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.field)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error is not a *ConfigError: %v", tc.field, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: ConfigError.Field = %q", tc.field, ce.Field)
+		}
+		if !strings.Contains(err.Error(), "Config."+tc.field) {
+			t.Errorf("%s: message does not name the field: %v", tc.field, err)
+		}
+	}
+}
+
+func TestValidateJoinsMultiple(t *testing.T) {
+	c := TestConfig()
+	c.NumProbes = 0
+	c.TracesTarget = 0
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "NumProbes") || !strings.Contains(msg, "TracesTarget") {
+		t.Errorf("joined error missing a field: %v", msg)
+	}
+}
+
+func TestBuildRejectsInvalidConfig(t *testing.T) {
+	c := TestConfig()
+	c.NumProbes = -3
+	if _, err := Build(c, nil); err == nil {
+		t.Fatal("Build accepted an invalid config")
+	}
+}

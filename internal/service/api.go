@@ -1,0 +1,168 @@
+// Package service is the query layer over one warm scenario: an
+// http.Handler serving classification, alternate-route, experiment,
+// and topology lookups as versioned JSON. cmd/routelabd wraps it in a
+// long-running server.
+//
+// # Determinism contract, extended to serve time
+//
+// Every data endpoint is a pure function of (sealed scenario, request
+// parameters): responses are byte-identical across requests, across
+// worker counts, and across any mix of concurrent clients. The
+// response cache stores fully-marshaled bodies, so a cache hit is
+// trivially identical to the miss that produced it; a cache miss
+// recomputes a deterministic value and marshals it with encoding/json
+// (struct fields in declaration order, map keys sorted). /v1/metrics
+// is the one exception — it reports the obs side channel, which
+// depends on history — and is therefore never cached.
+//
+// # Concurrency
+//
+// Request admission is bounded by a parallel.Gate; duplicate in-flight
+// requests for the same cache key are coalesced (one computation, many
+// waiters). Computations only read the sealed Scenario and the
+// synchronized classify.Context caches; nothing mutates shared state,
+// so any interleaving yields the same bytes.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"routelab/internal/obs"
+)
+
+// Schema identifies the response envelope shape; bump the suffix on
+// breaking changes so consumers fail loudly instead of misparsing.
+const Schema = "routelab-api/v1"
+
+// Kinds lists the envelope kinds the API emits.
+var Kinds = []string{"health", "metrics", "classify", "alternates", "experiment", "as", "error"}
+
+// Envelope is the versioned wrapper around every response body.
+type Envelope struct {
+	Schema string          `json:"schema"`
+	Kind   string          `json:"kind"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// Validate checks the envelope the same way obs.BenchReport.Validate
+// checks bench reports: schema must match exactly, the kind must be
+// one this API emits, and the data must be a non-empty JSON value.
+func (e Envelope) Validate() error {
+	if e.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", e.Schema, Schema)
+	}
+	known := false
+	for _, k := range Kinds {
+		if e.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown kind %q (have %v)", e.Kind, Kinds)
+	}
+	if len(e.Data) == 0 {
+		return fmt.Errorf("kind %q: empty data", e.Kind)
+	}
+	if !json.Valid(e.Data) {
+		return fmt.Errorf("kind %q: data is not valid JSON", e.Kind)
+	}
+	return nil
+}
+
+// ReadEnvelope decodes and validates one envelope from r.
+func ReadEnvelope(r io.Reader) (Envelope, error) {
+	var e Envelope
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return e, err
+	}
+	return e, e.Validate()
+}
+
+// HealthData is the /v1/healthz payload: a static description of the
+// scenario the server is holding (static so the endpoint stays
+// deterministic — liveness is the 200 itself).
+type HealthData struct {
+	Status      string   `json:"status"`
+	Seed        int64    `json:"seed"`
+	Scale       float64  `json:"scale"`
+	ASes        int      `json:"ases"`
+	Links       int      `json:"links"`
+	Probes      int      `json:"probes"`
+	Traces      int      `json:"traces"`
+	Experiments []string `json:"experiments"`
+}
+
+// ClassifyDecision is one routing decision judged under each requested
+// refinement (refinement name -> category).
+type ClassifyDecision struct {
+	At         string            `json:"at"`
+	Via        string            `json:"via"`
+	Prefix     string            `json:"prefix"`
+	DstAS      string            `json:"dst_as"`
+	RestLen    int               `json:"rest_len"`
+	Categories map[string]string `json:"categories"`
+}
+
+// ClassifyData is the /v1/classify payload: every decision of one
+// measured traceroute.
+type ClassifyData struct {
+	Trace     int                `json:"trace"`
+	SrcAS     string             `json:"src_as"`
+	DstAS     string             `json:"dst_as"`
+	Prefix    string             `json:"prefix"`
+	ASPath    []string           `json:"as_path"`
+	Decisions []ClassifyDecision `json:"decisions"`
+}
+
+// AlternateStepData is one route of a discovered preference order.
+type AlternateStepData struct {
+	NextHop  string   `json:"next_hop"`
+	Path     string   `json:"path"`
+	Poisoned []string `json:"poisoned,omitempty"`
+	Inferred string   `json:"inferred"`
+}
+
+// AlternatesData is the /v1/alternates payload: the §3.2 discovery run
+// against one target, judged under the §3.3 properties.
+type AlternatesData struct {
+	Target        string              `json:"target"`
+	Prefix        string              `json:"prefix"`
+	Announcements int                 `json:"announcements"`
+	Exhausted     bool                `json:"exhausted"`
+	Verdict       string              `json:"verdict"`
+	Steps         []AlternateStepData `json:"steps"`
+}
+
+// ASData is the /v1/as/{asn} payload: the measurement-plane view of
+// one AS (inferred neighbors), plus its ground-truth class for lab
+// convenience.
+type ASData struct {
+	ASN               string         `json:"asn"`
+	Class             string         `json:"class"`
+	Country           string         `json:"country"`
+	Names             []string       `json:"names,omitempty"`
+	Prefixes          []string       `json:"prefixes,omitempty"`
+	InferredDegree    int            `json:"inferred_degree"`
+	InferredNeighbors map[string]int `json:"inferred_neighbors"`
+}
+
+// ExperimentData is the /v1/experiments/{name} payload. Result is the
+// experiment's structured outcome (see internal/experiments).
+type ExperimentData struct {
+	Name   string `json:"name"`
+	Seed   int64  `json:"seed"`
+	Result any    `json:"result"`
+}
+
+// MetricsData is the /v1/metrics payload.
+type MetricsData struct {
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// ErrorData is the error-envelope payload.
+type ErrorData struct {
+	Error string `json:"error"`
+}

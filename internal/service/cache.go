@@ -1,0 +1,115 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// cache is an LRU over fully-marshaled response bodies with in-flight
+// coalescing: concurrent requests for the same key share one
+// computation, so a burst of identical queries costs one experiment
+// run and every client gets the very same bytes.
+type cache struct {
+	mu       sync.Mutex
+	cap      int
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // value: *entry
+	inflight map[string]*call
+}
+
+type entry struct {
+	key  string
+	body []byte
+}
+
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &cache{
+		cap:      capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// do returns the cached body for key, joining an in-flight computation
+// or running fn to produce it. Only successful results are cached.
+// Waiters honor their own ctx; when the computing caller's ctx kills
+// the computation, surviving waiters retry rather than inherit the
+// stranger's deadline.
+func (c *cache) do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			body := el.Value.(*entry).body
+			c.mu.Unlock()
+			return body, nil
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if cl.err == nil {
+				return cl.body, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// The computation died on ITS caller's context (or a real
+			// error); our context is still live, so try again — either a
+			// fresh inflight exists or we become the computer.
+			if cl.err != context.Canceled && cl.err != context.DeadlineExceeded {
+				return nil, cl.err
+			}
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.mu.Unlock()
+
+		cl.body, cl.err = fn()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if cl.err == nil {
+			c.insert(key, cl.body)
+		}
+		c.mu.Unlock()
+		close(cl.done)
+		return cl.body, cl.err
+	}
+}
+
+// insert adds key under the LRU policy. Caller holds c.mu.
+func (c *cache) insert(key string, body []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*entry).body = body
+		return
+	}
+	c.entries[key] = c.order.PushFront(&entry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*entry).key)
+	}
+}
+
+// len reports the number of cached bodies (for tests and metrics).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

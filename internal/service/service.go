@@ -1,0 +1,435 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"routelab/internal/asn"
+	"routelab/internal/classify"
+	"routelab/internal/experiments"
+	"routelab/internal/obs"
+	"routelab/internal/parallel"
+	"routelab/internal/scenario"
+)
+
+// Config sizes the service layer.
+type Config struct {
+	// MaxConcurrent bounds how many requests compute at once (the
+	// admission gate); <= 0 selects GOMAXPROCS, mirroring
+	// scenario.Config.RoutingWorkers.
+	MaxConcurrent int
+	// RequestTimeout caps each request's computation; expiry returns
+	// 504. 0 disables the server-side deadline.
+	RequestTimeout time.Duration
+	// CacheSize bounds the LRU response cache (entries); <= 0 selects
+	// the default (256).
+	CacheSize int
+}
+
+// Server answers queries over one sealed Scenario. Create with New;
+// serve via Handler. The zero value is not usable.
+type Server struct {
+	s        *scenario.Scenario
+	cfg      Config
+	gate     *parallel.Gate
+	cache    *cache
+	mux      *http.ServeMux
+	traceIdx map[int]int // Measurement.TraceID -> index into s.Measurements
+	health   []byte      // static healthz body
+}
+
+// New assembles a Server over a built scenario.
+func New(s *scenario.Scenario, cfg Config) *Server {
+	srv := &Server{
+		s:        s,
+		cfg:      cfg,
+		gate:     parallel.NewGate(cfg.MaxConcurrent),
+		cache:    newCache(cfg.CacheSize),
+		mux:      http.NewServeMux(),
+		traceIdx: make(map[int]int, len(s.Measurements)),
+	}
+	for i := range s.Measurements {
+		srv.traceIdx[s.Measurements[i].TraceID] = i
+	}
+	srv.health, _ = marshalEnvelope("health", HealthData{
+		Status:      "ok",
+		Seed:        s.Cfg.Seed,
+		Scale:       s.Cfg.Topology.Scale,
+		ASes:        s.Topo.NumASes(),
+		Links:       s.Topo.NumLinks(),
+		Probes:      len(s.Probes),
+		Traces:      len(s.Measurements),
+		Experiments: experiments.Names(),
+	})
+
+	srv.handle("GET /v1/healthz", "healthz", srv.serveHealthz)
+	srv.handle("GET /v1/metrics", "metrics", srv.serveMetrics)
+	srv.handle("GET /v1/classify", "classify", srv.serveClassify)
+	srv.handle("GET /v1/alternates", "alternates", srv.serveAlternates)
+	srv.handle("GET /v1/experiments/{name}", "experiments", srv.serveExperiment)
+	srv.handle("GET /v1/as/{asn}", "as", srv.serveAS)
+	srv.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such route: %s %s", r.Method, r.URL.Path))
+	})
+	return srv
+}
+
+// Handler returns the service's http.Handler (the /v1 API).
+func (srv *Server) Handler() http.Handler { return srv.mux }
+
+// handle registers an endpoint under its obs instrumentation:
+// service.requests.<name> / service.errors.<name> counters and a
+// service/<name> latency timer.
+func (srv *Server) handle(pattern, name string, h http.HandlerFunc) {
+	srv.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		defer obs.StartStage("service/" + name)()
+		obs.Inc("service.requests." + name)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status >= 400 {
+			obs.Inc("service.errors." + name)
+		}
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// reqCtx applies the server-side deadline to a request context.
+func (srv *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if srv.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), srv.cfg.RequestTimeout)
+}
+
+// compute produces (and caches) a response body: admission through the
+// gate, duplicate suppression and LRU through the cache.
+func (srv *Server) compute(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	body, err := srv.cache.do(ctx, key, func() ([]byte, error) {
+		if err := srv.gate.Enter(ctx); err != nil {
+			return nil, err
+		}
+		defer srv.gate.Leave()
+		return fn(ctx)
+	})
+	obs.SetGauge("service.cache.entries", float64(srv.cache.len()))
+	return body, err
+}
+
+func marshalEnvelope(kind string, data any) ([]byte, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(Envelope{Schema: Schema, Kind: kind, Data: raw})
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	body, err := marshalEnvelope("error", ErrorData{Error: msg})
+	if err != nil {
+		http.Error(w, msg, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeComputeError maps a computation failure to a status: deadline or
+// cancellation (the request ran out of time in the gate queue or
+// mid-experiment) is 504, anything else 500.
+func writeComputeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded: "+err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// --- endpoints --------------------------------------------------------
+
+func (srv *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeBody(w, srv.health)
+}
+
+// serveMetrics reports the obs snapshot. It is the one endpoint that
+// is NOT deterministic (metrics are history) and is never cached.
+func (srv *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	body, err := marshalEnvelope("metrics", MetricsData{Metrics: obs.Snap()})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, body)
+}
+
+func (srv *Server) serveClassify(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := srv.reqCtx(r)
+	defer cancel()
+	traceStr := r.URL.Query().Get("trace")
+	if traceStr == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: trace")
+		return
+	}
+	trace, err := strconv.Atoi(traceStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace id: "+err.Error())
+		return
+	}
+	refs := classify.Refinements
+	if rq := r.URL.Query().Get("refinement"); rq != "" {
+		ref, ok := refinementByName(rq)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown refinement %q (have %v)", rq, refinementNames()))
+			return
+		}
+		refs = []classify.Refinement{ref}
+	}
+	idx, ok := srv.traceIdx[trace]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no measurement with trace id %d", trace))
+		return
+	}
+	refKey := "all"
+	if len(refs) == 1 {
+		refKey = refs[0].String()
+	}
+	key := fmt.Sprintf("classify|%d|%s", trace, refKey)
+	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+		return srv.classifyBody(ctx, idx, refs)
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeBody(w, body)
+}
+
+func (srv *Server) classifyBody(ctx context.Context, idx int, refs []classify.Refinement) ([]byte, error) {
+	m := &srv.s.Measurements[idx]
+	data := ClassifyData{
+		Trace:  m.TraceID,
+		SrcAS:  m.SrcAS.String(),
+		DstAS:  m.DstAS.String(),
+		Prefix: m.Prefix.String(),
+	}
+	for _, a := range m.ASPath {
+		data.ASPath = append(data.ASPath, a.String())
+	}
+	for _, d := range m.Decisions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cd := ClassifyDecision{
+			At:         d.At.String(),
+			Via:        d.Via.String(),
+			Prefix:     d.Prefix.String(),
+			DstAS:      d.DstAS.String(),
+			RestLen:    d.RestLen,
+			Categories: make(map[string]string, len(refs)),
+		}
+		for _, ref := range refs {
+			cd.Categories[ref.String()] = srv.s.Context.Classify(d, ref).String()
+		}
+		data.Decisions = append(data.Decisions, cd)
+	}
+	return marshalEnvelope("classify", data)
+}
+
+func (srv *Server) serveAlternates(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := srv.reqCtx(r)
+	defer cancel()
+	targetStr := r.URL.Query().Get("target")
+	if targetStr == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: target")
+		return
+	}
+	target, err := asn.ParseASN(targetStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad target: "+err.Error())
+		return
+	}
+	if srv.s.Topo.AS(target) == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such AS: %s", target))
+		return
+	}
+	key := "alternates|" + target.String()
+	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return srv.alternatesBody(target)
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeBody(w, body)
+}
+
+func (srv *Server) alternatesBody(target asn.ASN) ([]byte, error) {
+	prefix := srv.s.Testbed.Prefixes[0]
+	// DiscoverAlternates consumes no randomness; the run is a pure
+	// function of (engine, prefix, target).
+	res := srv.s.Testbed.DiscoverAlternates(prefix, target)
+	data := AlternatesData{
+		Target:        res.Target.String(),
+		Prefix:        res.Prefix.String(),
+		Announcements: res.Announcements,
+		Exhausted:     res.Exhausted,
+		Verdict:       srv.s.Context.ClassifyAlternates(res).String(),
+	}
+	for _, st := range res.Steps {
+		sd := AlternateStepData{
+			NextHop:  st.Route.NextHop.String(),
+			Path:     st.Route.Path.String(),
+			Inferred: srv.s.Context.Graph.Rel(res.Target, st.Route.NextHop).String(),
+		}
+		for _, p := range st.PoisonedSoFar {
+			sd.Poisoned = append(sd.Poisoned, p.String())
+		}
+		data.Steps = append(data.Steps, sd)
+	}
+	return marshalEnvelope("alternates", data)
+}
+
+func (srv *Server) serveExperiment(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := srv.reqCtx(r)
+	defer cancel()
+	name := r.PathValue("name")
+	exp, ok := experiments.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (have %v)", name, experiments.Names()))
+		return
+	}
+	seed := srv.s.Cfg.Seed
+	if sq := r.URL.Query().Get("seed"); sq != "" {
+		v, err := strconv.ParseInt(sq, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			return
+		}
+		seed = v
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "text" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (have json, text)", format))
+		return
+	}
+	key := fmt.Sprintf("experiment|%s|%d|%s", name, seed, format)
+	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+		res, err := exp.Run(ctx, &experiments.Env{S: srv.s, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if format == "text" {
+			return []byte(experiments.Render(res)), nil
+		}
+		return marshalEnvelope("experiment", ExperimentData{Name: name, Seed: seed, Result: res})
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(body)
+		return
+	}
+	writeBody(w, body)
+}
+
+func (srv *Server) serveAS(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := srv.reqCtx(r)
+	defer cancel()
+	a, err := asn.ParseASN(r.PathValue("asn"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad asn: "+err.Error())
+		return
+	}
+	x := srv.s.Topo.AS(a)
+	if x == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such AS: %s", a))
+		return
+	}
+	key := "as|" + a.String()
+	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return srv.asBody(x.ASN)
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeBody(w, body)
+}
+
+func (srv *Server) asBody(a asn.ASN) ([]byte, error) {
+	x := srv.s.Topo.AS(a)
+	data := ASData{
+		ASN:               a.String(),
+		Class:             x.Class.String(),
+		Country:           string(x.HomeCountry),
+		InferredNeighbors: map[string]int{},
+	}
+	for name, n := range srv.s.Topo.Names {
+		if n == a {
+			data.Names = append(data.Names, name)
+		}
+	}
+	sort.Strings(data.Names)
+	for _, p := range x.Prefixes {
+		data.Prefixes = append(data.Prefixes, p.String())
+	}
+	neigh := srv.s.Context.Graph.Neighbors(a)
+	data.InferredDegree = len(neigh)
+	for _, n := range neigh {
+		data.InferredNeighbors[srv.s.Context.Graph.Rel(a, n).String()]++
+	}
+	return marshalEnvelope("as", data)
+}
+
+// --- refinement names -------------------------------------------------
+
+func refinementByName(name string) (classify.Refinement, bool) {
+	for _, r := range classify.Refinements {
+		if strings.EqualFold(r.String(), name) {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func refinementNames() []string {
+	out := make([]string, 0, len(classify.Refinements))
+	for _, r := range classify.Refinements {
+		out = append(out, r.String())
+	}
+	return out
+}
