@@ -1,16 +1,17 @@
 # Tier-1 verification for routelab. `make verify` is the gate every
 # change must pass: it builds everything, vets (including the copylocks
-# and concurrency-sensitive checks), and runs the full test suite under
-# the race detector — the concurrency model in DESIGN.md is only
+# and concurrency-sensitive checks), runs routelint (the in-tree
+# invariant analyzers, DESIGN.md §11), and runs the full test suite
+# under the race detector — the concurrency model in DESIGN.md is only
 # trustworthy while this stays green. CI (.github/workflows/ci.yml)
 # runs verify plus lint, cover, and bench-smoke on every push/PR.
 
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: verify build vet test race bench bench-smoke service-smoke lint cover
+.PHONY: verify build vet test race bench bench-smoke service-smoke lint staticcheck routelint lint-json cover
 
-verify: build vet race
+verify: build vet routelint race
 
 build:
 	$(GO) build ./...
@@ -39,14 +40,30 @@ bench-smoke:
 service-smoke:
 	bash scripts/service_smoke.sh
 
-# lint runs staticcheck (CI installs it with
+# lint runs both linters: staticcheck (general Go hygiene) and
+# routelint (this repo's own invariants — see DESIGN.md §11).
+lint: staticcheck routelint
+
+# staticcheck is the external linter (CI installs it with
 # `go install honnef.co/go/tools/cmd/staticcheck@2025.1.1`).
-lint:
+staticcheck:
 	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
 		echo "staticcheck not found; install it with:"; \
 		echo "  go install honnef.co/go/tools/cmd/staticcheck@2025.1.1"; \
 		exit 1; }
 	$(STATICCHECK) ./...
+
+# routelint is the in-tree, dependency-free analyzer suite enforcing the
+# repo's determinism/sealing/hot-path invariants (cmd/routelint). It is
+# part of `make verify`: a violation fails tier-1, not just CI.
+routelint:
+	$(GO) run ./cmd/routelint ./...
+
+# lint-json emits the machine-readable routelab-lint/v1 report and
+# validates it with cmd/lintcheck (CI archives LINT_routelab.json).
+lint-json:
+	$(GO) run ./cmd/routelint -format=json ./... > LINT_routelab.json
+	$(GO) run ./cmd/lintcheck LINT_routelab.json
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -1,0 +1,60 @@
+// Command lintcheck validates a routelint JSON emission (schema
+// routelab-lint/v1, written by `routelint -format=json`) and prints a
+// human-readable summary — the benchcheck/apicheck validator pattern
+// applied to the static-analysis report. It exits non-zero on a
+// missing, unparseable, or malformed file, which is how CI's routelint
+// job fails on a broken emission.
+//
+// Usage:
+//
+//	lintcheck [path]    (default LINT_routelab.json)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"routelab/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lintcheck [path to LINT_routelab.json]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	path := "LINT_routelab.json"
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		path = flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := lint.ReadReport(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintcheck:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: valid %s emission (module %s, %s, %d packages)\n",
+		path, rep.Schema, rep.Module, rep.GoVersion, rep.Packages)
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "rule\tinvariant")
+	for _, a := range rep.Analyzers {
+		fmt.Fprintf(w, "%s\t%s\n", a.Name, a.Doc)
+	}
+	w.Flush()
+	if rep.Clean {
+		fmt.Printf("%d analyzers, clean tree\n", len(rep.Analyzers))
+		return
+	}
+	fmt.Printf("%d analyzers, %d finding(s):\n", len(rep.Analyzers), len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Printf("  %s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+	}
+}

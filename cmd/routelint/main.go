@@ -1,0 +1,168 @@
+// Command routelint runs routelab's repo-invariant static-analysis
+// suite (internal/lint): five analyzers that prove, at compile time,
+// the determinism, sealing, and hot-path rules the reproduction's
+// goldens and concurrency model depend on. It is dependency-free —
+// stdlib go/ast, go/parser, go/types, and go/importer only — so it runs
+// on a bare toolchain and keeps go.mod require-free.
+//
+// Usage:
+//
+//	routelint [-format=text|json] [-list] [packages...]
+//
+// Packages default to ./... (every package in the enclosing module).
+// Findings print as "file:line:col: [rule-id] message"; the exit status
+// is 0 when clean, 1 on findings, 2 on usage or load errors.
+// -format=json emits a routelab-lint/v1 report (validated by
+// cmd/lintcheck) instead of text. Suppress an individual finding with a
+// `//lint:allow rule-id reason` comment on the finding's line or the
+// line above; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"routelab/internal/lint"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text or json (routelab-lint/v1)")
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: routelint [-format=text|json] [-list] [packages...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "routelint: unknown format %q (have text, json)\n", *format)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	prog, err := lint.Load(cwd)
+	if err != nil {
+		fail(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := selectPackages(prog, cwd, patterns)
+	if err != nil {
+		fail(err)
+	}
+	findings := lint.Run(prog, pkgs, analyzers)
+
+	switch *format {
+	case "json":
+		rep := lint.BuildReport(prog.ModulePath, analyzers, len(pkgs), relativize(findings, cwd))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	default:
+		for _, f := range relativize(findings, cwd) {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "routelint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "routelint:", err)
+	os.Exit(2)
+}
+
+// selectPackages resolves go-style package patterns against the loaded
+// program: "./..." (everything), "./dir/..." (a subtree), "./dir" (one
+// package), or bare import paths with an optional /... suffix.
+func selectPackages(prog *lint.Program, cwd string, patterns []string) ([]*lint.Package, error) {
+	selected := make(map[string]bool)
+	for _, pat := range patterns {
+		paths, err := expandPattern(prog, cwd, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			selected[p] = true
+		}
+	}
+	var out []*lint.Package
+	for _, pkg := range prog.Packages {
+		if selected[pkg.Path] {
+			out = append(out, pkg)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	return out, nil
+}
+
+func expandPattern(prog *lint.Program, cwd, pat string) ([]string, error) {
+	recursive := false
+	if p, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive, pat = true, p
+	}
+	var base string
+	if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") {
+		abs, err := filepath.Abs(filepath.Join(cwd, pat))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(prog.Root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %s escapes module root %s", pat, prog.Root)
+		}
+		base = prog.ModulePath
+		if rel != "." {
+			base += "/" + filepath.ToSlash(rel)
+		}
+	} else {
+		base = pat
+	}
+	var out []string
+	for _, pkg := range prog.Packages {
+		if pkg.Path == base || (recursive && strings.HasPrefix(pkg.Path, base+"/")) {
+			out = append(out, pkg.Path)
+		}
+	}
+	if len(out) == 0 && !recursive {
+		return nil, fmt.Errorf("no package matches %s", pat)
+	}
+	return out, nil
+}
+
+// relativize rewrites finding paths relative to the working directory
+// for compact, clickable output.
+func relativize(findings []lint.Finding, cwd string) []lint.Finding {
+	out := make([]lint.Finding, len(findings))
+	for i, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		out[i] = f
+	}
+	return out
+}

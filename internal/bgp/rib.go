@@ -63,16 +63,19 @@ func (e *Engine) ComputeFullRIB(workers int) *RIB {
 }
 
 func (r *RIB) indexPrefixes() {
-	r.byLen = r.byLen[:0]
+	// Collect into a local, sort, then publish: the index must never
+	// reflect map iteration order (maporder), even transiently.
+	byLen := r.byLen[:0]
 	for p := range r.routes {
-		r.byLen = append(r.byLen, p)
+		byLen = append(byLen, p)
 	}
-	sort.Slice(r.byLen, func(i, j int) bool {
-		if r.byLen[i].Len != r.byLen[j].Len {
-			return r.byLen[i].Len > r.byLen[j].Len
+	sort.Slice(byLen, func(i, j int) bool {
+		if byLen[i].Len != byLen[j].Len {
+			return byLen[i].Len > byLen[j].Len
 		}
-		return r.byLen[i].Addr < r.byLen[j].Addr
+		return byLen[i].Addr < byLen[j].Addr
 	})
+	r.byLen = byLen
 	r.lens = r.lens[:0]
 	for _, p := range r.byLen {
 		if len(r.lens) == 0 || r.lens[len(r.lens)-1] != p.Len {

@@ -105,7 +105,10 @@ func (r *AccuracyResult) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runAccuracy(_ context.Context, env *Env) (Result, error) {
+func runAccuracy(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeAccuracy(env.S), nil
 }
 
@@ -167,7 +170,10 @@ func (r *PredictionResult) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runPrediction(_ context.Context, env *Env) (Result, error) {
+func runPrediction(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computePrediction(env.S), nil
 }
 
@@ -274,7 +280,10 @@ func (r *CaseStudiesResult) render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func runCaseStudies(_ context.Context, env *Env) (Result, error) {
+func runCaseStudies(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeCaseStudies(env.S, rand.New(rand.NewSource(env.Seed+3))), nil
 }
 

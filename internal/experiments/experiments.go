@@ -94,7 +94,10 @@ func (r *Table1Result) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runTable1(_ context.Context, env *Env) (Result, error) {
+func runTable1(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeTable1(env.S), nil
 }
 
@@ -167,7 +170,10 @@ func (r *Figure1Result) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runFigure1(_ context.Context, env *Env) (Result, error) {
+func runFigure1(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeFigure1(env.S), nil
 }
 
@@ -221,7 +227,10 @@ func (r *Table2Result) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runTable2(_ context.Context, env *Env) (Result, error) {
+func runTable2(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeTable2(env.S, rand.New(rand.NewSource(env.Seed))), nil
 }
 
@@ -320,7 +329,10 @@ func (r *Figure2Result) render(w io.Writer) {
 	}
 }
 
-func runFigure2(_ context.Context, env *Env) (Result, error) {
+func runFigure2(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeFigure2(env.S), nil
 }
 
@@ -391,7 +403,10 @@ func (r *Figure3Result) render(w io.Writer) {
 		r.ContinentalPct)
 }
 
-func runFigure3(_ context.Context, env *Env) (Result, error) {
+func runFigure3(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeFigure3(env.S), nil
 }
 
@@ -441,7 +456,10 @@ func (r *Table3Result) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runTable3(_ context.Context, env *Env) (Result, error) {
+func runTable3(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeTable3(env.S), nil
 }
 
@@ -501,7 +519,10 @@ func (r *Table4Result) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runTable4(_ context.Context, env *Env) (Result, error) {
+func runTable4(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeTable4(env.S), nil
 }
 
@@ -542,7 +563,10 @@ func (r *PSPResult) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runPSPValidation(_ context.Context, env *Env) (Result, error) {
+func runPSPValidation(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computePSPValidation(env.S), nil
 }
 
@@ -601,7 +625,10 @@ func (r *AlternatesResult) render(w io.Writer) {
 	t.Render(w)
 }
 
-func runAlternates(_ context.Context, env *Env) (Result, error) {
+func runAlternates(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return computeAlternates(env.S, rand.New(rand.NewSource(env.Seed+1))), nil
 }
 

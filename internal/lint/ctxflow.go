@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerCtxFlow flags functions in internal/experiments and
+// internal/service that accept a context.Context but never consult it
+// — no ctx.Err()/ctx.Done() check and no forwarding to a callee. Those
+// are the packages where cancellation is load-bearing: routelabd's
+// request deadline (504-on-timeout) and graceful drain only work if
+// every Experiment.Run implementation and service handler observes its
+// ctx before blocking work. A ctx parameter that is silently dropped
+// compiles fine, passes goldens (Background never cancels), and breaks
+// only under production timeout pressure.
+//
+// Both declared functions and function literals (the compute closures
+// handed to the cache/gate) are checked; a parameter named _ is an
+// explicit opt-out — except for functions with the Experiment.Run
+// shape, func(context.Context, *Env) (Result, error), inside
+// internal/experiments: a registered experiment that blanks its ctx
+// runs to completion even after its routelabd request timed out, so
+// discarding the parameter there is flagged too.
+func analyzerCtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "experiments and service functions taking a ctx must consult it (Err/Done or forwarding) before blocking work",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(prog *Program, pkg *Package) []Finding {
+	switch pkg.Path {
+	case prog.ModulePath + "/internal/experiments", prog.ModulePath + "/internal/service":
+	default:
+		return nil
+	}
+	experimentsPkg := pkg.Path == prog.ModulePath+"/internal/experiments"
+	var out []Finding
+	check := func(name string, ftype *ast.FuncType, body *ast.BlockStmt, pos ast.Node) {
+		if body == nil {
+			return
+		}
+		for _, param := range ctxParams(pkg.Info, ftype) {
+			if usesObject(pkg.Info, body, param) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(pos.Pos()),
+				Rule: "ctxflow",
+				Message: fmt.Sprintf("%s accepts %s but never consults it; check ctx.Err()/Done() or forward it "+
+					"before blocking work (cancellation and request deadlines silently stop here)", name, param.Name()),
+			})
+		}
+		if experimentsPkg && blanksRunCtx(pkg, ftype) {
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(pos.Pos()),
+				Rule: "ctxflow",
+				Message: fmt.Sprintf("%s has the Experiment.Run shape but discards its ctx (_); "+
+					"bind it and check ctx.Err() so a timed-out routelabd request stops computing", name),
+			})
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check(n.Name.Name, n.Type, n.Body, n)
+			case *ast.FuncLit:
+				check("function literal", n.Type, n.Body, n)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// blanksRunCtx reports whether a function type has the Experiment.Run
+// shape — func(context.Context, *Env) (Result, error), with Env and
+// Result resolved in the analyzed package — while binding its context
+// parameter to the blank identifier.
+func blanksRunCtx(pkg *Package, ftype *ast.FuncType) bool {
+	tv, ok := pkg.Info.Types[ftype]
+	if !ok {
+		// Declared functions: the FuncType node itself carries no type
+		// entry; reconstruct from the parameter/result fields.
+		return blanksRunCtxFields(pkg, ftype)
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || !isRunSignature(pkg, sig) {
+		return false
+	}
+	return firstParamIsBlank(ftype)
+}
+
+func blanksRunCtxFields(pkg *Package, ftype *ast.FuncType) bool {
+	if ftype.Params == nil || ftype.Results == nil ||
+		len(ftype.Params.List) != 2 || len(ftype.Results.List) != 2 {
+		return false
+	}
+	typeAt := func(fields *ast.FieldList, i int) types.Type {
+		tv, ok := pkg.Info.Types[fields.List[i].Type]
+		if !ok {
+			return nil
+		}
+		return tv.Type
+	}
+	if !isNamedType(typeAt(ftype.Params, 0), "context", "Context") ||
+		!isNamedType(typeAt(ftype.Params, 1), pkg.Path, "Env") ||
+		!isNamedType(typeAt(ftype.Results, 0), pkg.Path, "Result") {
+		return false
+	}
+	return firstParamIsBlank(ftype)
+}
+
+func isRunSignature(pkg *Package, sig *types.Signature) bool {
+	return sig.Params().Len() == 2 && sig.Results().Len() == 2 &&
+		isNamedType(sig.Params().At(0).Type(), "context", "Context") &&
+		isNamedType(sig.Params().At(1).Type(), pkg.Path, "Env") &&
+		isNamedType(sig.Results().At(0).Type(), pkg.Path, "Result")
+}
+
+func firstParamIsBlank(ftype *ast.FuncType) bool {
+	names := ftype.Params.List[0].Names
+	return len(names) == 1 && names[0].Name == "_"
+}
+
+// ctxParams returns the declared (named, non-blank) context.Context
+// parameters of a function type.
+func ctxParams(info *types.Info, ftype *ast.FuncType) []*types.Var {
+	if ftype.Params == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			v, ok := info.Defs[name].(*types.Var)
+			if ok && isNamedType(v.Type(), "context", "Context") {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// analyzerHotAtomic flags per-event instrumentation on the two hot
+// paths PR 2's batching mandate covers:
+//
+//  1. The bgp.Converge event loop. Every function reachable from
+//     Computation.Converge inside internal/bgp runs once per routing
+//     event (millions per full-scale build); obs counter bumps or
+//     sync/atomic operations there serialize the convergence on cache
+//     lines. Counters must accumulate in plain Computation fields and
+//     flush once per Converge via flushObs — the one sanctioned flush
+//     point, which this rule excludes from the traversal.
+//
+//  2. parallel worker bodies. Function literals passed to
+//     parallel.ForEach/Map/ForEachStage/MapStage (and the worker
+//     closures inside the parallel package itself) run once per item
+//     across all workers; per-item atomics or obs calls contend across
+//     the pool. The two deliberate per-item atomics the package
+//     documents (the work-stealing index, the stage busy-clock) carry
+//     //lint:allow annotations.
+//
+// The hot set is derived from the source call graph, not hardcoded, so
+// new helpers on the Converge path are covered automatically.
+func analyzerHotAtomic() *Analyzer {
+	return &Analyzer{
+		Name: "hotatomic",
+		Doc:  "no per-event obs or sync/atomic calls on the bgp.Converge hot path or in parallel worker bodies",
+		Run:  runHotAtomic,
+	}
+}
+
+func runHotAtomic(prog *Program, pkg *Package) []Finding {
+	var out []Finding
+	out = append(out, hotAtomicConverge(prog, pkg)...)
+	out = append(out, hotAtomicWorkers(prog, pkg)...)
+	return out
+}
+
+// --- part 1: the bgp.Converge call tree -------------------------------
+
+func hotAtomicConverge(prog *Program, pkg *Package) []Finding {
+	if pkg.Path != prog.ModulePath+"/internal/bgp" {
+		return nil
+	}
+	decls := packageFuncDecls(pkg)
+	root := findMethodDecl(pkg, decls, "Computation", "Converge")
+	if root == nil {
+		return nil
+	}
+	hot := reachableFuncs(pkg, decls, root, map[string]bool{"flushObs": true})
+	// Walk the hot set in source order so raw findings are deterministic
+	// before the driver's final sort.
+	ordered := make([]*types.Func, 0, len(hot))
+	for fn := range hot {
+		ordered = append(ordered, fn)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return hot[ordered[i]].Pos() < hot[ordered[j]].Pos() })
+	var out []Finding
+	for _, fn := range ordered {
+		decl, fnName := hot[fn], fn.Name()
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if desc := instrumentationCall(prog, pkg.Info, call); desc != "" {
+				out = append(out, Finding{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: "hotatomic",
+					Message: fmt.Sprintf("per-event %s call in %s, on the bgp.Converge hot path "+
+						"(accumulate in Computation fields and flush once per Converge in flushObs)", desc, fnName),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// packageFuncDecls maps every function/method object of the package to
+// its declaration.
+func packageFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if f, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[f] = fd
+			}
+		}
+	}
+	return out
+}
+
+// findMethodDecl locates recvType.name in the package.
+func findMethodDecl(pkg *Package, decls map[*types.Func]*ast.FuncDecl, recvType, name string) *types.Func {
+	for f := range decls {
+		if f.Name() != name {
+			continue
+		}
+		recv := f.Type().(*types.Signature).Recv()
+		if recv != nil && isNamedType(recv.Type(), pkg.Path, recvType) {
+			return f
+		}
+	}
+	return nil
+}
+
+// reachableFuncs walks the same-package static call graph from root,
+// skipping functions named in stop (and not descending into them).
+func reachableFuncs(pkg *Package, decls map[*types.Func]*ast.FuncDecl, root *types.Func, stop map[string]bool) map[*types.Func]*ast.FuncDecl {
+	hot := make(map[*types.Func]*ast.FuncDecl)
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		decl, ok := decls[f]
+		if !ok || hot[f] != nil || stop[f.Name()] {
+			return
+		}
+		hot[f] = decl
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pkg.Info, call); callee != nil && funcPkgPath(callee) == pkg.Path {
+				visit(callee)
+			}
+			return true
+		})
+	}
+	visit(root)
+	return hot
+}
+
+// --- part 2: parallel worker bodies -----------------------------------
+
+// parallelEntryPoints are the fan-out functions whose fn arguments run
+// once per item.
+var parallelEntryPoints = map[string]bool{
+	"ForEach": true, "Map": true, "ForEachStage": true, "MapStage": true,
+}
+
+func hotAtomicWorkers(prog *Program, pkg *Package) []Finding {
+	parallelPath := prog.ModulePath + "/internal/parallel"
+	var out []Finding
+	flagLit := func(lit *ast.FuncLit, where string) {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if desc := instrumentationCall(prog, pkg.Info, call); desc != "" {
+				out = append(out, Finding{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: "hotatomic",
+					Message: fmt.Sprintf("per-item %s call in a %s worker body "+
+						"(workers run once per item; batch after the merge barrier instead)", desc, where),
+				})
+			}
+			return true
+		})
+	}
+	for _, file := range pkg.Files {
+		// Call sites anywhere in the module: function literals handed to
+		// parallel.ForEach/Map/ForEachStage/MapStage.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pkg.Info, call)
+			if f == nil || funcPkgPath(f) != parallelPath || !parallelEntryPoints[f.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					flagLit(lit, "parallel."+f.Name())
+				}
+			}
+			return true
+		})
+		// Inside the parallel package itself: the worker goroutine and
+		// wrapper closures within the fan-out implementations.
+		if pkg.Path == parallelPath {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !parallelEntryPoints[fd.Name.Name] {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						flagLit(lit, fd.Name.Name)
+						return false // flagLit descends into nested literals
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// instrumentationCall classifies a call as hot-path instrumentation:
+// anything from internal/obs (counters, gauges, timers, stages) or
+// sync/atomic (package functions and atomic-type methods). Returns a
+// short description or "".
+func instrumentationCall(prog *Program, info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return ""
+	}
+	switch funcPkgPath(f) {
+	case prog.ModulePath + "/internal/obs":
+		return "obs." + f.Name()
+	case "sync/atomic":
+		return "sync/atomic " + f.Name()
+	}
+	return ""
+}

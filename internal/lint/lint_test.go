@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureProg loads the fixture module under testdata/src once per test
+// binary; loading type-checks the stdlib from source, so it is shared.
+var fixtureProg = sync.OnceValues(func() (*Program, error) {
+	return Load(filepath.Join("testdata", "src"))
+})
+
+func loadFixture(t *testing.T) *Program {
+	t.Helper()
+	prog, err := fixtureProg()
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	return prog
+}
+
+// wantMarker is the fixture expectation syntax: a trailing
+// "//lint:want <rule>" comment on the exact line a finding must be
+// reported at.
+const wantMarker = "//lint:want"
+
+type expectation struct {
+	file string
+	line int
+	rule string
+}
+
+func (e expectation) String() string { return fmt.Sprintf("%s:%d: [%s]", e.file, e.line, e.rule) }
+
+// collectExpectations scans a package's comments for want markers.
+func collectExpectations(prog *Program, pkg *Package) []expectation {
+	var out []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, wantMarker)
+				if !ok {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) != 1 {
+					panic(fmt.Sprintf("%s:%d: malformed %s marker", pos.Filename, pos.Line, wantMarker))
+				}
+				out = append(out, expectation{file: pos.Filename, line: pos.Line, rule: fields[0]})
+			}
+		}
+	}
+	return out
+}
+
+// TestFixtures runs the full suite over the fixture module and requires
+// the findings to match the //lint:want markers exactly: every positive
+// fires, every negative stays silent, and every //lint:allow suppresses
+// its finding. The fix/allow package is exercised separately by
+// TestAllowDirectiveValidation.
+func TestFixtures(t *testing.T) {
+	prog := loadFixture(t)
+	var pkgs []*Package
+	var want []expectation
+	for _, pkg := range prog.Packages {
+		if pkg.Path == "routelab/fix/allow" {
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+		want = append(want, collectExpectations(prog, pkg)...)
+	}
+	got := Run(prog, pkgs, Analyzers())
+
+	wantSet := make(map[expectation]bool, len(want))
+	for _, e := range want {
+		wantSet[e] = true
+	}
+	gotSet := make(map[expectation]bool, len(got))
+	for _, f := range got {
+		gotSet[expectation{file: f.Pos.Filename, line: f.Pos.Line, rule: f.Rule}] = true
+	}
+	for _, e := range want {
+		if !gotSet[e] {
+			t.Errorf("expected finding missing: %s", e)
+		}
+	}
+	for _, f := range got {
+		if !wantSet[expectation{file: f.Pos.Filename, line: f.Pos.Line, rule: f.Rule}] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestEveryAnalyzerHasFixtureCoverage guards against fixture bit-rot:
+// each of the five rules must have at least one positive marker and at
+// least one suppression in the fixture tree.
+func TestEveryAnalyzerHasFixtureCoverage(t *testing.T) {
+	prog := loadFixture(t)
+	positives := make(map[string]int)
+	allows := make(map[string]int)
+	for _, pkg := range prog.Packages {
+		for _, e := range collectExpectations(prog, pkg) {
+			positives[e.rule]++
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), allowDirective); ok {
+						if fields := strings.Fields(rest); len(fields) >= 2 {
+							allows[fields[0]]++
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, a := range Analyzers() {
+		if positives[a.Name] == 0 {
+			t.Errorf("analyzer %s has no positive fixture case", a.Name)
+		}
+		if allows[a.Name] == 0 {
+			t.Errorf("analyzer %s has no suppressed fixture case", a.Name)
+		}
+	}
+}
+
+// TestAllowDirectiveValidation checks that malformed //lint:allow
+// comments (bare, unknown rule, missing reason) are themselves reported
+// under rule id "allow".
+func TestAllowDirectiveValidation(t *testing.T) {
+	prog := loadFixture(t)
+	pkg := prog.Package("routelab/fix/allow")
+	if pkg == nil {
+		t.Fatal("fixture package routelab/fix/allow not loaded")
+	}
+	findings := Run(prog, []*Package{pkg}, Analyzers())
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3 (bare, unknown rule, missing reason):\n%s",
+			len(findings), findingLines(findings))
+	}
+	wantFrags := []string{"missing rule id", "unknown rule", "missing reason"}
+	for i, f := range findings {
+		if f.Rule != "allow" {
+			t.Errorf("finding %d: rule %q, want \"allow\"", i, f.Rule)
+		}
+		if !strings.Contains(f.Message, wantFrags[i]) {
+			t.Errorf("finding %d: message %q does not mention %q", i, f.Message, wantFrags[i])
+		}
+	}
+}
+
+// TestSealedMutatorSetIsDerived checks that the sealedmut rule derives
+// the guarded mutator set from source (any Topology method calling
+// mutable) instead of a hardcoded list.
+func TestSealedMutatorSetIsDerived(t *testing.T) {
+	prog := loadFixture(t)
+	got := MutatorNames(prog)
+	want := []string{"MarkContentPrefix", "PinPrefix"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("fixture mutator set = %v, want %v", got, want)
+	}
+}
+
+// TestRunIsDeterministic re-runs the suite and requires byte-identical
+// finding lists — the tool that proves determinism must itself be
+// deterministic.
+func TestRunIsDeterministic(t *testing.T) {
+	prog := loadFixture(t)
+	render := func() string {
+		var b strings.Builder
+		for _, f := range Run(prog, prog.Packages, Analyzers()) {
+			fmt.Fprintln(&b, f)
+		}
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if again := render(); again != first {
+			t.Fatalf("run %d differs:\n--- first\n%s--- again\n%s", i+2, first, again)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-check the acceptance criteria pin: the
+// suite over this repository itself reports nothing, so any regression
+// against the encoded invariants fails tier-1 here before CI.
+func TestRepoIsClean(t *testing.T) {
+	prog, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("load repository module: %v", err)
+	}
+	if prog.ModulePath != "routelab" {
+		t.Fatalf("loaded module %q, want routelab", prog.ModulePath)
+	}
+	if len(prog.Packages) < 30 {
+		t.Fatalf("loaded only %d packages; the loader is missing most of the tree", len(prog.Packages))
+	}
+	findings := Run(prog, prog.Packages, Analyzers())
+	if len(findings) > 0 {
+		t.Errorf("routelint is not clean on the repository (%d findings):\n%s",
+			len(findings), findingLines(findings))
+	}
+}
+
+// TestAnalyzerNamesStable pins the public rule-id surface: DESIGN.md,
+// CI, and //lint:allow comments all reference these ids.
+func TestAnalyzerNamesStable(t *testing.T) {
+	want := []string{"ctxflow", "hotatomic", "maporder", "sealedmut", "walltime"}
+	got := AnalyzerNames()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("analyzer names = %v, want %v", got, want)
+	}
+	for _, a := range Analyzers() {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc line", a.Name)
+		}
+	}
+}
+
+// TestFixtureASTsHaveComments guards the loader's ParseComments mode:
+// suppression and markers both depend on comments surviving the parse.
+func TestFixtureASTsHaveComments(t *testing.T) {
+	prog := loadFixture(t)
+	total := 0
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			total += len(f.Comments)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no comments in fixture ASTs; loader must parse with parser.ParseComments")
+	}
+	// And positions must resolve to real files.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			if name := prog.Fset.Position(f.Pos()).Filename; !strings.HasSuffix(name, ".go") {
+				t.Fatalf("file position %q does not resolve to a .go file", name)
+			}
+			var count int
+			ast.Inspect(f, func(ast.Node) bool { count++; return true })
+			if count == 0 {
+				t.Fatal("empty AST in fixture package")
+			}
+		}
+	}
+}
+
+func findingLines(fs []Finding) string {
+	lines := make([]string, 0, len(fs))
+	for _, f := range fs {
+		lines = append(lines, "  "+f.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

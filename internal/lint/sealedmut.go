@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// analyzerSealedMut flags calls to topology.Topology's generator-only
+// mutators from outside the build phase. PR 1 sealed the topology with
+// runtime panics (Topology.mutable) so the routing engine and every
+// parallel stage can share one Topology lock-free; this rule moves that
+// guarantee to compile time. The mutator set is derived from source —
+// any method on Topology whose body calls mutable — so new mutators are
+// covered automatically.
+//
+// Allowed call sites: internal/topology itself (the generator and
+// builder) and internal/scenario (the scenario build phase, which
+// constructs topologies before sealing them).
+func analyzerSealedMut() *Analyzer {
+	return &Analyzer{
+		Name: "sealedmut",
+		Doc:  "topology.Topology mutators may only be called from internal/topology and the scenario build phase",
+		Run:  runSealedMut,
+	}
+}
+
+func runSealedMut(prog *Program, pkg *Package) []Finding {
+	topoPath := prog.ModulePath + "/internal/topology"
+	switch pkg.Path {
+	case topoPath, prog.ModulePath + "/internal/scenario":
+		return nil // the build phase may mutate
+	}
+	topo := prog.Package(topoPath)
+	if topo == nil {
+		return nil
+	}
+	mutators := sealedMutators(topo)
+	if len(mutators) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pkg.Info, call)
+			if f == nil || funcPkgPath(f) != topoPath || !mutators[f.Name()] {
+				return true
+			}
+			recv := f.Type().(*types.Signature).Recv()
+			if recv == nil || !isNamedType(recv.Type(), topoPath, "Topology") {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(call.Pos()),
+				Rule: "sealedmut",
+				Message: fmt.Sprintf("call to sealed topology mutator %s outside the build phase "+
+					"(Topology is read-only after build; mutators panic on a sealed topology)", f.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// sealedMutators returns the names of Topology methods guarded by
+// t.mutable — the generator-only mutator set.
+func sealedMutators(topo *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range topo.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if !receiverIsTopology(topo, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if f := calleeFunc(topo.Info, call); f != nil && f.Name() == "mutable" &&
+					funcPkgPath(f) == topo.Path {
+					out[fd.Name.Name] = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func receiverIsTopology(topo *Package, fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := topo.Info.Types[fd.Recv.List[0].Type].Type
+	return t != nil && isNamedType(t, topo.Path, "Topology")
+}
+
+// MutatorNames exposes the derived mutator set for documentation and
+// tests (sorted). Returns nil when the program has no topology package.
+func MutatorNames(prog *Program) []string {
+	topo := prog.Package(prog.ModulePath + "/internal/topology")
+	if topo == nil {
+		return nil
+	}
+	names := sealedMutators(topo)
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,10 @@
+// Package allow exercises the driver's directive validation: every
+// malformed //lint:allow comment is itself a finding (rule id "allow"),
+// so suppressions can never silently rot.
+package allow
+
+func directives() {
+	//lint:allow
+	//lint:allow nosuchrule some reason text
+	//lint:allow maporder
+}

@@ -1,0 +1,64 @@
+// Package maporder exercises the maporder rule: map ranges feeding
+// order-sensitive output are flagged; the collect-sort-render idiom and
+// order-insensitive bodies are not.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+type result struct{ Rows []string }
+
+func printBad(w io.Writer, m map[string]int) {
+	for k, v := range m { //lint:want maporder
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func buildBad(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { //lint:want maporder
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func fieldAppendBad(m map[string]int) result {
+	var r result
+	for k := range m { //lint:want maporder
+		r.Rows = append(r.Rows, k)
+	}
+	return r
+}
+
+// sortedGood is the sanctioned idiom: collect keys into a local slice,
+// sort, then render from the slice.
+func sortedGood(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// countGood never renders inside the loop: order-insensitive.
+func countGood(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func printSuppressed(w io.Writer, m map[string]int) {
+	//lint:allow maporder fixture demonstrates suppression
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

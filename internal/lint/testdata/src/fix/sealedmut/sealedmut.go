@@ -1,0 +1,19 @@
+// Package sealedmut exercises the sealedmut rule: topology mutators
+// called outside internal/topology and the scenario build phase are
+// flagged; read-only accessors are not.
+package sealedmut
+
+import "routelab/internal/topology"
+
+func mutateBad(t *topology.Topology) {
+	t.MarkContentPrefix(7) //lint:want sealedmut
+}
+
+func readGood(t *topology.Topology) bool {
+	return t.IsContentPrefix(7)
+}
+
+func mutateSuppressed(t *topology.Topology) {
+	//lint:allow sealedmut fixture demonstrates suppression
+	t.PinPrefix(7, 1)
+}

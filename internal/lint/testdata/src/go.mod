@@ -1,0 +1,3 @@
+module routelab
+
+go 1.22

@@ -1,0 +1,58 @@
+// Package bgp is the hotatomic fixture for the Converge call tree: the
+// analyzer walks the static call graph from Computation.Converge and
+// flags per-event instrumentation everywhere except flushObs.
+package bgp
+
+import (
+	"sync/atomic"
+
+	"routelab/internal/obs"
+)
+
+var events = obs.Default().Counter("bgp.fixture.events")
+
+// Computation mirrors the real engine's shape: an event loop whose
+// helpers must stay free of per-event instrumentation.
+type Computation struct {
+	n       int64
+	pending int
+}
+
+// Converge drains the event queue — the hot-path root.
+func (c *Computation) Converge() bool {
+	for c.pending > 0 {
+		c.process()
+	}
+	c.flushObs()
+	return true
+}
+
+func (c *Computation) process() {
+	events.Inc() //lint:want hotatomic
+	c.bump()
+	c.allowed()
+	c.pending--
+}
+
+// bump is reachable from Converge through process: still hot.
+func (c *Computation) bump() {
+	atomic.AddInt64(&c.n, 1) //lint:want hotatomic
+}
+
+// allowed demonstrates suppression inside the hot set.
+func (c *Computation) allowed() {
+	//lint:allow hotatomic fixture demonstrates suppression on the hot path
+	events.Inc()
+}
+
+// flushObs is the sanctioned once-per-Converge flush point: excluded
+// from the traversal, so this obs call is legal.
+func (c *Computation) flushObs() {
+	events.Add(c.n)
+}
+
+// Announce is per-call API, not reachable from Converge: its counter
+// bump is legal.
+func (c *Computation) Announce() {
+	events.Inc()
+}

@@ -1,0 +1,34 @@
+// Package classify is the walltime fixture: a golden-backed package
+// where wall-clock reads and globally seeded randomness are banned, and
+// scenario-seeded sources are the sanctioned idiom.
+package classify
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stampBad() int64 {
+	return time.Now().UnixNano() //lint:want walltime
+}
+
+func elapsedBad(t0 time.Time) time.Duration {
+	return time.Since(t0) //lint:want walltime
+}
+
+func drawBad() int {
+	return rand.Intn(10) //lint:want walltime
+}
+
+// drawGood derives a seeded source: the determinism idiom, never
+// flagged (rand.New and rand.NewSource are constructors, and methods on
+// the derived *rand.Rand are legal).
+func drawGood(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func drawSuppressed() float64 {
+	//lint:allow walltime fixture demonstrates suppression
+	return rand.Float64()
+}

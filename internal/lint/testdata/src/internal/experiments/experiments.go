@@ -1,0 +1,47 @@
+// Package experiments is the ctxflow fixture: run implementations and
+// helpers that take a context must consult it, and the Experiment.Run
+// shape may not blank its ctx.
+package experiments
+
+import "context"
+
+// Env is the fixture execution environment.
+type Env struct{ Seed int64 }
+
+// Result is the fixture structured-outcome interface.
+type Result interface{ renderable() }
+
+type okResult struct{}
+
+func (okResult) renderable() {}
+
+// runGuarded consults its ctx before computing: the sanctioned shape.
+func runGuarded(ctx context.Context, env *Env) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return okResult{}, nil
+}
+
+// runForwarded forwards its ctx to a callee: forwarding counts as
+// consulting.
+func runForwarded(ctx context.Context, env *Env) (Result, error) {
+	return runGuarded(ctx, env)
+}
+
+func runDiscards(_ context.Context, env *Env) (Result, error) { //lint:want ctxflow
+	return okResult{}, nil
+}
+
+func runIgnores(ctx context.Context, env *Env) (Result, error) { //lint:want ctxflow
+	return okResult{}, nil
+}
+
+func helperIgnores(ctx context.Context, n int) int { //lint:want ctxflow
+	return n + 1
+}
+
+//lint:allow ctxflow fixture demonstrates suppression
+func runSuppressed(ctx context.Context, env *Env) (Result, error) {
+	return okResult{}, nil
+}

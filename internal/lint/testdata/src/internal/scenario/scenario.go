@@ -1,0 +1,15 @@
+// Package scenario is the fixture build phase: the one place outside
+// internal/topology where calling topology mutators is sanctioned, so
+// nothing here may be flagged by sealedmut.
+package scenario
+
+import "routelab/internal/topology"
+
+// Build constructs and seals a topology — the allowed mutation window.
+func Build() *topology.Topology {
+	t := &topology.Topology{}
+	t.MarkContentPrefix(1)
+	t.PinPrefix(1, 2)
+	t.Seal()
+	return t
+}

@@ -1,0 +1,35 @@
+// Package service is the ctxflow fixture for handler closures: the
+// compute closures handed to the cache/gate take a ctx of their own and
+// must consult it.
+package service
+
+import "context"
+
+type server struct{}
+
+// compute forwards its ctx into the closure.
+func (s *server) compute(ctx context.Context, fn func(ctx context.Context) error) error {
+	return fn(ctx)
+}
+
+// handleGood's closure checks its ctx: legal.
+func (s *server) handleGood(ctx context.Context) error {
+	return s.compute(ctx, func(ctx context.Context) error {
+		return ctx.Err()
+	})
+}
+
+// handleBad's closure shadows ctx and then ignores it.
+func (s *server) handleBad(ctx context.Context) error {
+	return s.compute(ctx, func(ctx context.Context) error { //lint:want ctxflow
+		return nil
+	})
+}
+
+// handleSuppressed demonstrates suppression on a closure finding.
+func (s *server) handleSuppressed(ctx context.Context) error {
+	//lint:allow ctxflow fixture demonstrates suppression
+	return s.compute(ctx, func(ctx context.Context) error {
+		return nil
+	})
+}

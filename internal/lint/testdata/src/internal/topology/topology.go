@@ -1,0 +1,29 @@
+// Package topology is a fixture stub of the real sealed topology: the
+// sealedmut analyzer derives the mutator set from methods that call
+// mutable, exactly as it does on the real package.
+package topology
+
+// Topology seals after build; mutators panic afterwards.
+type Topology struct{ sealed bool }
+
+func (t *Topology) mutable(op string) {
+	if t.sealed {
+		panic("topology: " + op + " on a sealed topology")
+	}
+}
+
+// MarkContentPrefix is a generator-only mutator.
+func (t *Topology) MarkContentPrefix(p int) {
+	t.mutable("MarkContentPrefix")
+}
+
+// PinPrefix is a generator-only mutator.
+func (t *Topology) PinPrefix(p, city int) {
+	t.mutable("PinPrefix")
+}
+
+// IsContentPrefix is a read-only accessor: never flagged.
+func (t *Topology) IsContentPrefix(p int) bool { return t.sealed && p >= 0 }
+
+// Seal marks the topology read-only.
+func (t *Topology) Seal() { t.sealed = true }

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerWallTime flags nondeterminism sources — wall-clock reads and
+// the globally seeded math/rand — inside the packages whose outputs the
+// 14 experiment goldens pin byte-for-byte: internal/experiments,
+// internal/classify, internal/inference, and internal/gaorexford. A
+// time.Now() or rand.Intn() there would not fail any test immediately;
+// it would silently make golden refreshes unreproducible, which is the
+// failure mode the seeded-run contract exists to prevent.
+//
+// Allowed: constructing scenario-seeded sources (rand.New,
+// rand.NewSource, and every other rand.New* constructor) and calling
+// methods on a *rand.Rand derived from them — that is the sanctioned
+// determinism idiom (one seed per experiment, derived from env.Seed).
+func analyzerWallTime() *Analyzer {
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "no wall-clock or globally seeded randomness in golden-backed packages (experiments, classify, inference, gaorexford)",
+		Run:  runWallTime,
+	}
+}
+
+// wallTimeScopes are the module-relative package prefixes the rule
+// covers (a prefix also covers subpackages).
+var wallTimeScopes = []string{
+	"internal/experiments",
+	"internal/classify",
+	"internal/inference",
+	"internal/gaorexford",
+}
+
+// timeFuncs are the wall-clock reads the rule bans.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallTime(prog *Program, pkg *Package) []Finding {
+	if !inWallTimeScope(prog, pkg) {
+		return nil
+	}
+	var out []Finding
+	flag := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: prog.Fset.Position(n.Pos()), Rule: "walltime", Message: msg})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch funcPkgPath(f) {
+			case "time":
+				if timeFuncs[f.Name()] {
+					flag(sel, fmt.Sprintf("wall-clock time.%s in a golden-backed package; "+
+						"outputs must be a pure function of the scenario seed", f.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on *rand.Rand are the seeded idiom; package-level
+				// functions draw from the shared global source. The New*
+				// constructors build seeded sources and stay legal.
+				if f.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if strings.HasPrefix(f.Name(), "New") {
+					return true
+				}
+				flag(sel, fmt.Sprintf("globally seeded %s.%s in a golden-backed package; "+
+					"derive a *rand.Rand from the scenario seed instead", funcPkgPath(f), f.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func inWallTimeScope(prog *Program, pkg *Package) bool {
+	for _, scope := range wallTimeScopes {
+		full := prog.ModulePath + "/" + scope
+		if pkg.Path == full || strings.HasPrefix(pkg.Path, full+"/") {
+			return true
+		}
+	}
+	return false
+}

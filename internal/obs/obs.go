@@ -214,7 +214,15 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
-	for name, t := range r.timers {
+	// Stage order is part of the snapshot contract: walk sorted timer
+	// names instead of map order (maporder).
+	names := make([]string, 0, len(r.timers))
+	for name := range r.timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := r.timers[name]
 		t.mu.Lock()
 		st := StageStat{
 			Name:    name,
@@ -229,7 +237,6 @@ func (r *Registry) Snapshot() Snapshot {
 		t.mu.Unlock()
 		s.Stages = append(s.Stages, st)
 	}
-	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
 	return s
 }
 

@@ -58,7 +58,7 @@ func New(s *scenario.Scenario, cfg Config) *Server {
 	for i := range s.Measurements {
 		srv.traceIdx[s.Measurements[i].TraceID] = i
 	}
-	srv.health, _ = marshalEnvelope("health", HealthData{
+	health, err := marshalEnvelope("health", HealthData{
 		Status:      "ok",
 		Seed:        s.Cfg.Seed,
 		Scale:       s.Cfg.Topology.Scale,
@@ -68,6 +68,13 @@ func New(s *scenario.Scenario, cfg Config) *Server {
 		Traces:      len(s.Measurements),
 		Experiments: experiments.Names(),
 	})
+	if err != nil {
+		// The health payload is static and every field is a plain
+		// marshalable type; a failure here is a programming error, and a
+		// server that cannot produce its own health body must not start.
+		panic("service: marshal health envelope: " + err.Error())
+	}
+	srv.health = health
 
 	srv.handle("GET /v1/healthz", "healthz", srv.serveHealthz)
 	srv.handle("GET /v1/metrics", "metrics", srv.serveMetrics)
@@ -143,9 +150,18 @@ func marshalEnvelope(kind string, data any) ([]byte, error) {
 	return append(body, '\n'), nil
 }
 
+// write sends a fully-assembled body. A failed or short write means the
+// client disconnected mid-response; the server cannot repair that, so
+// the error is counted rather than propagated.
+func write(w http.ResponseWriter, body []byte) {
+	if _, err := w.Write(body); err != nil {
+		obs.Inc("service.write_errors")
+	}
+}
+
 func writeBody(w http.ResponseWriter, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
+	write(w, body)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
@@ -156,7 +172,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(body)
+	write(w, body)
 }
 
 // writeComputeError maps a computation failure to a status: deadline or
@@ -357,7 +373,7 @@ func (srv *Server) serveExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	if format == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(body)
+		write(w, body)
 		return
 	}
 	writeBody(w, body)
@@ -398,12 +414,16 @@ func (srv *Server) asBody(a asn.ASN) ([]byte, error) {
 		Country:           string(x.HomeCountry),
 		InferredNeighbors: map[string]int{},
 	}
+	// Collect into a local and sort before publishing into the Result
+	// (maporder: Names is a map, iteration order is randomized).
+	var names []string
 	for name, n := range srv.s.Topo.Names {
 		if n == a {
-			data.Names = append(data.Names, name)
+			names = append(names, name)
 		}
 	}
-	sort.Strings(data.Names)
+	sort.Strings(names)
+	data.Names = names
 	for _, p := range x.Prefixes {
 		data.Prefixes = append(data.Prefixes, p.String())
 	}
