@@ -306,6 +306,30 @@ func BenchmarkPoisonReconverge(b *testing.B) {
 	}
 }
 
+// BenchmarkForkReconverge measures the same poisoned reconvergence as
+// BenchmarkPoisonReconverge, but starting from a copy-on-write Fork of
+// one shared converged base instead of rebuilding and re-converging a
+// fresh computation per iteration — the campaign shape after ISSUE 5.
+// The ratio to BenchmarkPoisonReconverge is the fork speedup.
+func BenchmarkForkReconverge(b *testing.B) {
+	topo := topology.Generate(1, topology.TestConfig())
+	engine := bgp.New(topo, 1)
+	peeringAS := topo.Names["peering"]
+	p := topo.AS(peeringAS).Prefixes[0]
+	mux := topo.Names["mux-0"]
+	base := engine.NewComputation(p)
+	base.Announce(bgp.Announcement{Origin: peeringAS})
+	base.Converge()
+	base.Freeze()
+	b.ResetTimer()
+	defer measured(b)()
+	for i := 0; i < b.N; i++ {
+		c := base.Fork()
+		c.Announce(bgp.Announcement{Origin: peeringAS, Poisoned: []asn.ASN{mux}})
+		c.Converge()
+	}
+}
+
 // BenchmarkWireUpdateRoundTrip measures RFC 4271 UPDATE encode+decode.
 func BenchmarkWireUpdateRoundTrip(b *testing.B) {
 	u := wire.Update{

@@ -5,9 +5,25 @@
 // or malformed file, which is how CI's bench-smoke job fails on a
 // broken emission.
 //
+// With -baseline it additionally compares the emission against a
+// committed baseline emission and fails on a regression in the
+// convergence-engine benchmark set (the memory-compaction surface of
+// DESIGN.md §12). The two metrics get different thresholds on purpose:
+// allocs/op is deterministic and machine-independent, so it gates
+// tightly (-max-regress, default 15%); ns/op from a one-iteration
+// sweep jitters ~4x run-to-run and the committed baseline was recorded
+// on a different machine than CI, so it gates only on catastrophic
+// slowdowns (-max-ns-regress, default 400% — the accidental-O(n²)
+// tripwire, not a latency SLO). Improvements and new benchmarks never
+// fail; a convergence benchmark that DISAPPEARS from the fresh emission
+// does, so the guard cannot be dodged by deleting the benchmark.
+//
 // Usage:
 //
-//	benchcheck [path]    (default BENCH_routelab.json)
+//	benchcheck [flags] [path]    (default BENCH_routelab.json)
+//	  -baseline file       committed emission to compare against
+//	  -max-regress pct     allowed allocs/op regression (default 15)
+//	  -max-ns-regress pct  allowed ns/op regression (default 400)
 package main
 
 import (
@@ -19,9 +35,23 @@ import (
 	"routelab/internal/obs"
 )
 
+// convergenceSet lists the benchmarks the -baseline comparison gates:
+// the convergence-engine hot paths whose allocation profile ISSUE 5
+// compacted. Kept deliberately small — macro benchmarks (scenario
+// builds, experiment tables) are too environment-sensitive to gate on.
+var convergenceSet = []string{
+	"BenchmarkConvergePrefix",
+	"BenchmarkPoisonReconverge",
+	"BenchmarkForkReconverge",
+	"BenchmarkAlternateRoutes",
+}
+
 func main() {
+	baseline := flag.String("baseline", "", "committed BENCH emission to compare the fresh one against")
+	maxRegress := flag.Float64("max-regress", 15, "allowed allocs/op regression, in percent")
+	maxNsRegress := flag.Float64("max-ns-regress", 400, "allowed ns/op regression, in percent (lax: one-iteration cross-machine timings only catch blowups)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [path to BENCH_routelab.json]")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file] [-max-regress pct] [-max-ns-regress pct] [path to BENCH_routelab.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,4 +82,68 @@ func main() {
 	w.Flush()
 	fmt.Printf("%d benchmarks, %d counters, %d stage timers\n",
 		len(rep.Benchmarks), len(rep.Metrics.Counters), len(rep.Metrics.Stages))
+
+	if *baseline == "" {
+		return
+	}
+	base, err := obs.ReadBenchReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: baseline:", err)
+		os.Exit(1)
+	}
+	if !compare(rep, base, *maxRegress, *maxNsRegress) {
+		os.Exit(1)
+	}
+}
+
+// compare checks the convergence set of fresh against base and reports
+// whether everything is within the allowed regression. All verdicts are
+// printed (not just the first failure) so a regressing PR sees the full
+// picture in one CI run.
+func compare(fresh, base obs.BenchReport, maxRegressPct, maxNsRegressPct float64) bool {
+	byName := func(rep obs.BenchReport) map[string]obs.BenchResult {
+		m := make(map[string]obs.BenchResult, len(rep.Benchmarks))
+		for _, b := range rep.Benchmarks {
+			m[b.Name] = b
+		}
+		return m
+	}
+	fm, bm := byName(fresh), byName(base)
+	allocLimit := 1 + maxRegressPct/100
+	nsLimit := 1 + maxNsRegressPct/100
+	ok := true
+	for _, name := range convergenceSet {
+		b, inBase := bm[name]
+		f, inFresh := fm[name]
+		switch {
+		case !inBase:
+			fmt.Printf("compare %s: not in baseline (new benchmark; commit a refreshed baseline)\n", name)
+		case !inFresh:
+			fmt.Fprintf(os.Stderr, "compare %s: MISSING from fresh emission\n", name)
+			ok = false
+		default:
+			ok = compareMetric(name, "ns/op", f.NsPerOp, b.NsPerOp, nsLimit) && ok
+			ok = compareMetric(name, "allocs/op", f.AllocsPerOp, b.AllocsPerOp, allocLimit) && ok
+		}
+	}
+	if ok {
+		fmt.Printf("compare: convergence set within limits (allocs/op +%.0f%%, ns/op +%.0f%%)\n",
+			maxRegressPct, maxNsRegressPct)
+	}
+	return ok
+}
+
+func compareMetric(name, metric string, fresh, base, limit float64) bool {
+	if base <= 0 { // nothing meaningful to regress against
+		return true
+	}
+	ratio := fresh / base
+	if ratio > limit {
+		fmt.Fprintf(os.Stderr, "compare %s: %s REGRESSED %.0f -> %.0f (%+.1f%%, limit %+.1f%%)\n",
+			name, metric, base, fresh, (ratio-1)*100, (limit-1)*100)
+		return false
+	}
+	fmt.Printf("compare %s: %s %.0f -> %.0f (%+.1f%%)\n",
+		name, metric, base, fresh, (ratio-1)*100)
+	return true
 }

@@ -1,0 +1,101 @@
+package bgp
+
+// Allocation guards for the memory-compaction layer (ISSUE 5): the
+// intern pool, origin-route cache, and scratch advertisement buffer
+// exist so steady-state convergence work allocates nothing. These tests
+// pin that with testing.AllocsPerRun so a regression (say, a closure
+// sneaking back into bestTwo, or the scratch route escaping) fails CI
+// instead of silently re-inflating the allocation profile the
+// benchcheck baseline measures.
+
+import (
+	"testing"
+
+	"routelab/internal/asn"
+	"routelab/internal/topology"
+)
+
+// allocFixture returns a converged anycast computation over a generated
+// topology, plus a transit AS known to hold a route with alternatives.
+func allocFixture(t *testing.T) (*Computation, asn.ASN) {
+	t.Helper()
+	topo := topology.Generate(17, topology.TestConfig())
+	e := New(topo, 17)
+	origin := topo.Names["peering"]
+	c := e.NewComputation(topo.AS(origin).Prefixes[0])
+	c.Announce(Announcement{Origin: origin})
+	if !c.Converge() {
+		t.Fatal("fixture did not converge")
+	}
+	// Find an AS with at least two candidates so Step exercises the full
+	// two-best scan, not the only-route early exit.
+	for i := range c.adjIn {
+		if c.best[i] == nil {
+			continue
+		}
+		n := 0
+		for _, r := range c.adjIn[i] {
+			if r != nil {
+				n++
+			}
+		}
+		if n >= 2 {
+			return c, c.e.asns[i]
+		}
+	}
+	t.Fatal("no AS with alternatives in fixture")
+	return nil, 0
+}
+
+func requireAllocs(t *testing.T, what string, max float64, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	fn() // warm up caches (origin route, intern pool, obs flush deltas)
+	if got := testing.AllocsPerRun(100, fn); got > max {
+		t.Errorf("%s: %v allocs/op, want <= %v", what, got, max)
+	}
+}
+
+// TestAllocsSteadyStateConverge pins that converging an already-settled
+// computation is allocation-free.
+func TestAllocsSteadyStateConverge(t *testing.T) {
+	c, _ := allocFixture(t)
+	requireAllocs(t, "Converge on converged computation", 0, func() {
+		c.Converge()
+	})
+}
+
+// TestAllocsBestPathSelection pins that a single best-path decision —
+// the Best/Step queries the experiments hammer — allocates nothing.
+func TestAllocsBestPathSelection(t *testing.T) {
+	c, target := allocFixture(t)
+	requireAllocs(t, "Best+Step", 0, func() {
+		if _, ok := c.Best(target); !ok {
+			t.Fatal("target lost its route")
+		}
+		if _, ok := c.Step(target); !ok {
+			t.Fatal("target lost its decision")
+		}
+	})
+}
+
+// TestAllocsSuppressedReannounce pins the scratch-buffer property: re-
+// announcing the identical announcement reprocesses the origin, derives
+// every advertisement again, and suppresses them all as no-op refreshes
+// — without installing (and so without heap-copying) a single route.
+// The small remaining budget is the origin-route rebuild (Announce
+// invalidates the cache: base path + intern key + route + map insert)
+// and the queue bookkeeping, all O(1) per Converge regardless of
+// topology size.
+func TestAllocsSuppressedReannounce(t *testing.T) {
+	c, _ := allocFixture(t)
+	topo := c.e.topo
+	origin := topo.Names["peering"]
+	ann := Announcement{Origin: origin}
+	requireAllocs(t, "identical re-announce + Converge", 16, func() {
+		c.Announce(ann)
+		c.Converge()
+	})
+}

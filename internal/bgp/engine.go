@@ -3,6 +3,7 @@ package bgp
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"routelab/internal/asn"
 	"routelab/internal/obs"
@@ -22,6 +23,9 @@ var (
 	obsAnnouncePoisoned = obs.Default().Counter("bgp.announce.poisoned")
 	obsPoisonedASes     = obs.Default().Counter("bgp.announce.poisoned_ases")
 	obsWithdraw         = obs.Default().Counter("bgp.withdraw.total")
+	obsInternHits       = obs.Default().Counter("bgp.intern.hits")
+	obsInternMisses     = obs.Default().Counter("bgp.intern.misses")
+	obsRowClones        = obs.Default().Counter("bgp.fork.row_clones")
 )
 
 // Engine computes ground-truth routing over a topology. It is stateless
@@ -94,6 +98,29 @@ type Computation struct {
 	adjIn [][]*Route
 	best  []*Route
 
+	// sharedRow[i] marks adjIn rows borrowed from a frozen parent by
+	// Fork; deliver clones such a row before its first write (nil for
+	// root computations — no COW overhead).
+	sharedRow []bool
+	// rowClones counts COW clones for the obs flush.
+	rowClones int
+
+	// pool interns AS paths (chained to the parent pool after Fork).
+	pool *pathPool
+	// origin caches materialized origin routes per announcing AS;
+	// invalidated by Announce/Withdraw. Entries are immutable and shared
+	// with forks.
+	origin map[asn.ASN]*Route
+	// advScratch is the reusable advertisement buffer: advertisement
+	// fills it per neighbor and process copies it to the heap only when
+	// the route is actually installed, so suppressed re-advertisements
+	// allocate nothing.
+	advScratch Route
+
+	// frozen is set by Freeze/Fork; Announce and Withdraw panic once
+	// set. Atomic so concurrent Forks of one parent are race-free.
+	frozen atomic.Bool
+
 	// buckets is a path-length-bucketed priority queue of AS indexes
 	// whose advertisements must be recomputed. Processing shortest
 	// installed routes first approximates BFS propagation and slashes
@@ -122,6 +149,8 @@ func (e *Engine) NewComputation(prefix asn.Prefix) *Computation {
 		anns:      make(map[asn.ASN]Announcement),
 		adjIn:     make([][]*Route, n),
 		best:      make([]*Route, n),
+		pool:      newPathPool(nil),
+		origin:    make(map[asn.ASN]*Route),
 		buckets:   make([][]int32, 4*48),
 		queued:    make([]bool, n),
 		force:     make([]bool, n),
@@ -168,8 +197,12 @@ func (c *Computation) enqueue(i int32) {
 // by the same origin) and marks the origin for reprocessing. Call
 // Converge to propagate.
 func (c *Computation) Announce(a Announcement) {
+	if c.frozen.Load() {
+		panic("bgp: Announce on a frozen Computation (it has live forks; mutate a Fork instead)")
+	}
 	a.Prefix = c.prefix
 	c.anns[a.Origin] = a
+	delete(c.origin, a.Origin)
 	obsAnnounce.Inc()
 	if len(a.Poisoned) > 0 {
 		obsAnnouncePoisoned.Inc()
@@ -183,7 +216,11 @@ func (c *Computation) Announce(a Announcement) {
 
 // Withdraw removes an origin's announcement.
 func (c *Computation) Withdraw(origin asn.ASN) {
+	if c.frozen.Load() {
+		panic("bgp: Withdraw on a frozen Computation (it has live forks; mutate a Fork instead)")
+	}
 	delete(c.anns, origin)
+	delete(c.origin, origin)
 	obsWithdraw.Inc()
 	if i, ok := c.idx(origin); ok {
 		c.force[i] = true
@@ -232,6 +269,20 @@ func (c *Computation) flushObs() {
 		obsConvergeChanges.Add(int64(d))
 		c.flushedChanges = c.nChanges
 	}
+	// Intern-pool and COW counters accumulate in plain fields on the hot
+	// path and publish here, once per Converge.
+	if c.pool.hits > 0 {
+		obsInternHits.Add(int64(c.pool.hits))
+		c.pool.hits = 0
+	}
+	if c.pool.misses > 0 {
+		obsInternMisses.Add(int64(c.pool.misses))
+		c.pool.misses = 0
+	}
+	if c.rowClones > 0 {
+		obsRowClones.Add(int64(c.rowClones))
+		c.rowClones = 0
+	}
 }
 
 // pop removes the queued AS with the shortest installed route.
@@ -261,7 +312,7 @@ func (c *Computation) Best(a asn.ASN) (Route, bool) {
 	if !ok || c.best[i] == nil {
 		return Route{}, false
 	}
-	return *c.best[i], true
+	return c.best[i].public(), true
 }
 
 // Step returns the decision step that selects the AS's current best
@@ -282,8 +333,11 @@ func (c *Computation) Step(a asn.ASN) (DecisionStep, bool) {
 }
 
 // bestTwo scans AS i's candidates for the two most preferred routes.
+// Closure-free so a steady-state rescan stays allocation-free (the
+// alloc guards in alloc_test.go pin this).
 func (c *Computation) bestTwo(i int32) (nb, second *Route) {
-	consider := func(r *Route) {
+	nb = c.originRoute(c.e.asns[i])
+	for _, r := range c.adjIn[i] {
 		switch {
 		case r == nil:
 		case nb == nil || prefer(r, nb):
@@ -292,10 +346,6 @@ func (c *Computation) bestTwo(i int32) (nb, second *Route) {
 		case second == nil || prefer(r, second):
 			second = r
 		}
-	}
-	consider(c.originRoute(c.e.asns[i]))
-	for _, r := range c.adjIn[i] {
-		consider(r)
 	}
 	return nb, second
 }
@@ -310,11 +360,11 @@ func (c *Computation) Alternatives(a asn.ASN) []Route {
 	}
 	var cands []Route
 	if r := c.originRoute(a); r != nil {
-		cands = append(cands, *r)
+		cands = append(cands, r.public())
 	}
 	for _, r := range c.adjIn[i] {
 		if r != nil {
-			cands = append(cands, *r)
+			cands = append(cands, r.public())
 		}
 	}
 	sort.Slice(cands, func(x, y int) bool { return prefer(&cands[x], &cands[y]) })
@@ -326,29 +376,38 @@ func (c *Computation) Routes() map[asn.ASN]Route {
 	out := make(map[asn.ASN]Route, len(c.best))
 	for i, r := range c.best {
 		if r != nil {
-			out[c.e.asns[i]] = *r
+			out[c.e.asns[i]] = r.public()
 		}
 	}
 	return out
 }
 
-// originRoute materializes a's own origin route, or nil.
+// originRoute materializes a's own origin route, or nil. The built route
+// is cached per origin (and invalidated by Announce/Withdraw), so the
+// per-event rescans of the origin AS allocate nothing; forks inherit the
+// cache entries, which are immutable.
 func (c *Computation) originRoute(a asn.ASN) *Route {
 	ann, ok := c.anns[a]
 	if !ok {
 		return nil
 	}
-	base := ann.basePath()
-	return &Route{
+	if r, ok := c.origin[a]; ok {
+		return r
+	}
+	ip := c.pool.intern(ann.basePath())
+	r := &Route{
 		Prefix:    c.prefix,
-		Path:      base,
+		Path:      ip.p,
 		NextHop:   0,
 		FromRel:   topology.RelNone,
 		OrgRel:    topology.RelNone,
 		LocalPref: 1 << 30, // own routes always win
 		Age:       0,
-		pathLen:   base.Len(),
+		pathLen:   ip.plen,
+		ip:        ip,
 	}
+	c.origin[a] = r
+	return r
 }
 
 // prefer reports whether a beats b in the BGP decision process.
@@ -400,20 +459,32 @@ func (c *Computation) reselect(i int32) bool {
 
 // deliver installs an advertisement (or withdrawal, adv==nil) from
 // neighbor slot s into AS i's adj-RIB-in and incrementally updates i's
-// best route. It reports whether i's best changed.
+// best route. It reports whether i's best changed. Rows still shared
+// with a frozen fork parent are cloned before their first write (the
+// copy-on-write barrier — the no-op cases above it read shared state
+// without ever cloning).
 func (c *Computation) deliver(i int32, s int32, adv *Route) bool {
-	old := c.adjIn[i]
-	if old == nil {
-		c.adjIn[i] = make([]*Route, len(c.e.nbrs[i]))
+	row := c.adjIn[i]
+	var prev *Route
+	if row != nil {
+		prev = row[s]
 	}
-	prev := c.adjIn[i][s]
 	if prev == nil && adv == nil {
 		return false
 	}
 	if prev != nil && adv != nil && sameRoute(*prev, *adv) {
 		return false // implicit refresh: keep the older installation
 	}
-	c.adjIn[i][s] = adv
+	if row == nil {
+		row = make([]*Route, len(c.e.nbrs[i]))
+		c.adjIn[i] = row
+	} else if c.sharedRow != nil && c.sharedRow[i] {
+		row = append(make([]*Route, 0, len(row)), row...)
+		c.adjIn[i] = row
+		c.sharedRow[i] = false
+		c.rowClones++
+	}
+	row[s] = adv
 	cur := c.best[i]
 	switch {
 	case cur == prev && prev != nil:
@@ -442,21 +513,26 @@ func (c *Computation) process(i int32) {
 	xAS := c.e.topo.AS(a)
 	best := c.best[i]
 	for s, n := range c.e.nbrs[i] {
-		adv := c.advertisement(xAS, best, n)
+		adv := c.advertisement(xAS, best, n) // scratch buffer; copied below if installed
 		j, ok := c.idx(n.ASN)
 		if !ok {
 			continue
 		}
 		back := c.e.backSlot[i][s]
+		var inst *Route
 		if adv != nil {
-			// Suppress no-op refreshes before stamping a fresh age.
+			// Suppress no-op refreshes before stamping a fresh age — the
+			// common steady-state case, which now allocates nothing
+			// because adv is the reusable scratch route.
 			if cur := c.adjInAt(j, back); cur != nil && sameRoute(*cur, *adv) {
 				continue
 			}
 			c.clock++
-			adv.Age = c.clock
+			inst = new(Route)
+			*inst = *adv
+			inst.Age = c.clock
 		}
-		if c.deliver(j, back, adv) {
+		if c.deliver(j, back, inst) {
 			c.nChanges++
 			c.enqueue(j)
 		}
@@ -473,6 +549,12 @@ func (c *Computation) adjInAt(i, s int32) *Route {
 // advertisement builds the route neighbor n would install upon hearing
 // x's best route, or nil when export policy, origin policy, loop
 // prevention, or AS_SET filtering suppresses it.
+//
+// The returned pointer aliases c.advScratch: it is valid only until the
+// next advertisement call and must be copied (process does) before being
+// installed. The advertised path comes from the intern pool — a map
+// probe when this exact extension was derived before, anywhere in the
+// fork chain.
 func (c *Computation) advertisement(xAS *topology.AS, best *Route, n topology.Neighbor) *Route {
 	if best == nil {
 		return nil
@@ -489,9 +571,13 @@ func (c *Computation) advertisement(xAS *topology.AS, best *Route, n topology.Ne
 			return nil
 		}
 	}
+	advIP := best.ip
 	advPath := best.Path
+	advLen := best.pathLen
 	if !best.IsOrigin() {
-		advPath = advPath.Prepend(x)
+		advIP = c.pool.prepend(best.ip, best.Path, x)
+		advPath = advIP.p
+		advLen = advIP.plen
 	}
 	nAS := c.e.topo.AS(n.ASN)
 	if advPath.Contains(n.ASN) && !nAS.NoLoopPrevention {
@@ -512,7 +598,7 @@ func (c *Computation) advertisement(xAS *topology.AS, best *Route, n topology.Ne
 	} else {
 		lp = c.e.localPref(nAS, orgRel, advPath, c.prefix)
 	}
-	return &Route{
+	c.advScratch = Route{
 		Prefix:     c.prefix,
 		Path:       advPath,
 		NextHop:    x,
@@ -520,19 +606,24 @@ func (c *Computation) advertisement(xAS *topology.AS, best *Route, n topology.Ne
 		OrgRel:     orgRel,
 		LocalPref:  lp,
 		EgressCity: city,
-		pathLen:    advPath.Len(),
+		pathLen:    advLen,
 		igpCost:    c.e.igpCost(n.ASN, x, city),
+		ip:         advIP,
 	}
+	return &c.advScratch
 }
 
-// sameRoute compares everything except Age.
+// sameRoute compares everything except Age. Interned paths compare by
+// handle identity — within one fork chain equal paths share one ipath —
+// with the structural comparison kept as the correctness fallback for
+// routes from different chains (or built outside the pool).
 func sameRoute(a, b Route) bool {
 	return a.NextHop == b.NextHop &&
 		a.LocalPref == b.LocalPref &&
 		a.FromRel == b.FromRel &&
 		a.OrgRel == b.OrgRel &&
 		a.EgressCity == b.EgressCity &&
-		a.Path.Equal(b.Path)
+		((a.ip != nil && a.ip == b.ip) || a.Path.Equal(b.Path))
 }
 
 // DebugStats reports internal convergence counters (process calls and

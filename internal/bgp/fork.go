@@ -1,0 +1,82 @@
+package bgp
+
+import (
+	"maps"
+	"slices"
+
+	"routelab/internal/asn"
+	"routelab/internal/obs"
+)
+
+// Fork/Freeze obs handles. Fork is per-campaign API (never on the
+// Converge hot path), so direct counter bumps are fine here.
+var obsForkCalls = obs.Default().Counter("bgp.fork.calls")
+
+// Prefix returns the prefix this computation routes.
+func (c *Computation) Prefix() asn.Prefix { return c.prefix }
+
+// Freeze marks the computation immutable: Announce and Withdraw panic
+// from now on, and the state may be shared read-only — which is what
+// Fork relies on. Freezing is idempotent and safe to invoke (and
+// observe) from multiple goroutines; it cannot be undone.
+//
+// Converge stays callable (on a frozen computation the queue is
+// normally empty, so it is a no-op flush), but like every Computation
+// method it must not run concurrently with other calls on the SAME
+// computation. Forks of a frozen computation are independent and may be
+// taken and driven from different goroutines concurrently.
+func (c *Computation) Freeze() { c.frozen.Store(true) }
+
+// Frozen reports whether Freeze (or Fork) has been called.
+func (c *Computation) Frozen() bool { return c.frozen.Load() }
+
+// Fork freezes the computation and returns a copy-on-write child that
+// continues from the exact current state — same announcements, same
+// adj-RIB-ins, same best routes, same event clock, so a mutated fork is
+// indistinguishable from a from-scratch computation that replayed the
+// parent's history plus the new events (the differential suite in
+// forkdiff_test.go pins exactly that).
+//
+// The fork is cheap: O(#ASes) pointer copies. Per-AS adj-RIB-in rows
+// are shared with the parent and cloned lazily on first write; installed
+// *Route values are immutable and shared forever. The child gets its own
+// AS-path intern pool chained to the parent's (see intern.go).
+//
+// Any number of forks may be taken from one frozen parent, concurrently,
+// and each fork is single-owner mutable state like any Computation.
+// Forks never un-freeze the parent: a campaign keeps the converged base
+// around and forks it once per variant.
+func (c *Computation) Fork() *Computation {
+	c.Freeze()
+	n := len(c.e.asns)
+	f := &Computation{
+		e:         c.e,
+		prefix:    c.prefix,
+		anns:      maps.Clone(c.anns),
+		adjIn:     slices.Clone(c.adjIn),
+		sharedRow: make([]bool, n),
+		best:      slices.Clone(c.best),
+		origin:    maps.Clone(c.origin),
+		pool:      newPathPool(c.pool),
+		buckets:   make([][]int32, len(c.buckets)),
+		nQueued:   c.nQueued,
+		queued:    slices.Clone(c.queued),
+		force:     slices.Clone(c.force),
+		clock:     c.clock,
+		converged: c.converged,
+	}
+	for i, row := range f.adjIn {
+		if row != nil {
+			f.sharedRow[i] = true
+		}
+	}
+	// Pending events (a fork of a not-yet-converged computation) carry
+	// over so the child converges exactly as the parent would have.
+	for p, b := range c.buckets {
+		if len(b) > 0 {
+			f.buckets[p] = slices.Clone(b)
+		}
+	}
+	obsForkCalls.Inc()
+	return f
+}

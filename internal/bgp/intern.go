@@ -1,0 +1,127 @@
+package bgp
+
+import "routelab/internal/asn"
+
+// This file implements the AS-path intern pool (DESIGN.md §12). The
+// convergence engine re-derives the same handful of AS paths millions of
+// times: every advertisement used to build a fresh Prepend copy of the
+// best route's path, even when the identical path had been advertised on
+// the previous event. The pool canonicalizes paths into immutable shared
+// handles so a path is materialized once per computation (or once per
+// fork CHAIN — forks share their parent's entries read-only) and every
+// later derivation is a map probe.
+//
+// Lifetime and sharing rules:
+//
+//   - An ipath is immutable from the moment it enters a pool. Routes
+//     hold the handle in an unexported field; public accessors strip it
+//     so externally visible Route values stay plain data (reflect-equal
+//     across independent computations).
+//   - Each Computation owns exactly one pathPool. Fork gives the child a
+//     fresh pool whose parent pointer chains to the frozen parent's
+//     pool; lookups walk the chain, inserts always go to the owning
+//     pool. A frozen parent's pool is never written again, so any number
+//     of forks may read it concurrently.
+//   - Within one chain, interning is canonical: two value-equal paths
+//     resolve to the same *ipath, which is what lets sameRoute compare
+//     paths by pointer on the hot path.
+//
+// The pool's hit/miss counters accumulate in plain fields and flush once
+// per Converge in flushObs (the hotatomic rule: no per-intern obs
+// calls).
+
+// ipath is one interned, canonical, immutable AS path. The pointer is
+// the identity: within a pool chain, value-equal paths share one ipath.
+type ipath struct {
+	p asn.Path
+	// plen caches p.Len() so the decision process never re-walks
+	// segments.
+	plen int
+}
+
+// prependKey addresses the prepend cache: the interned parent path
+// extended by one AS. Pointer identity of the parent makes the key
+// comparable without rendering the path.
+type prependKey struct {
+	parent *ipath
+	a      asn.ASN
+}
+
+// pathPool interns AS paths for one Computation. Not safe for concurrent
+// writes; parents of forked pools are frozen (read-only) by contract.
+type pathPool struct {
+	parent *pathPool
+	byKey  map[string]*ipath
+	prep   map[prependKey]*ipath
+
+	// hits/misses accumulate here and are flushed (and zeroed) once per
+	// Converge by Computation.flushObs.
+	hits, misses int
+}
+
+func newPathPool(parent *pathPool) *pathPool {
+	return &pathPool{
+		parent: parent,
+		byKey:  make(map[string]*ipath),
+		prep:   make(map[prependKey]*ipath),
+	}
+}
+
+// lookup walks the fork chain for a canonical key.
+func (pl *pathPool) lookup(k string) *ipath {
+	for p := pl; p != nil; p = p.parent {
+		if ip := p.byKey[k]; ip != nil {
+			return ip
+		}
+	}
+	return nil
+}
+
+// lookupPrep walks the fork chain for a prepend-cache entry.
+func (pl *pathPool) lookupPrep(k prependKey) *ipath {
+	for p := pl; p != nil; p = p.parent {
+		if ip := p.prep[k]; ip != nil {
+			return ip
+		}
+	}
+	return nil
+}
+
+// intern canonicalizes p into the chain, inserting into the owning pool
+// on a miss. The returned handle (and its path) must not be mutated.
+func (pl *pathPool) intern(p asn.Path) *ipath {
+	k := p.Key()
+	if ip := pl.lookup(k); ip != nil {
+		pl.hits++
+		return ip
+	}
+	pl.misses++
+	ip := &ipath{p: p, plen: p.Len()}
+	pl.byKey[k] = ip
+	return ip
+}
+
+// prepend returns the interned extension of a route's path by one AS —
+// the per-advertisement operation of the engine. With a live parent
+// handle the fast path is a single map probe; base covers routes built
+// outside the pool (parent == nil), which pay a full canonicalization.
+func (pl *pathPool) prepend(parent *ipath, base asn.Path, a asn.ASN) *ipath {
+	if parent == nil {
+		return pl.intern(base.Prepend(a))
+	}
+	k := prependKey{parent: parent, a: a}
+	if ip := pl.lookupPrep(k); ip != nil {
+		pl.hits++
+		return ip
+	}
+	pl.misses++
+	built := parent.p.Prepend(a)
+	bk := built.Key()
+	ip := pl.lookup(bk)
+	if ip == nil {
+		ip = &ipath{p: built, plen: built.Len()}
+		pl.byKey[bk] = ip
+	}
+	pl.prep[k] = ip
+	return ip
+}

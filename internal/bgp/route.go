@@ -71,6 +71,22 @@ type Route struct {
 	// candidates does not recompute them per comparison.
 	pathLen int
 	igpCost int
+
+	// ip is the interned-path handle (intern.go): within one fork chain,
+	// equal paths share one handle, so sameRoute compares by pointer.
+	// Always nil on Route values returned by public accessors (see
+	// Route.public) so externally visible routes are plain data —
+	// reflect.DeepEqual-comparable across independently built
+	// computations.
+	ip *ipath
+}
+
+// public strips computation-internal state from a route copy handed to
+// callers.
+func (r *Route) public() Route {
+	cp := *r
+	cp.ip = nil
+	return cp
 }
 
 // IsOrigin reports whether the owning AS originates the route.

@@ -1,7 +1,8 @@
 package classify
 
 import (
-	"routelab/internal/asn"
+	"encoding/binary"
+
 	"routelab/internal/bgp"
 	"routelab/internal/peering"
 	"routelab/internal/topology"
@@ -101,6 +102,14 @@ func (cx *Context) SummarizeAlternates(runs []peering.AlternateResult) Alternate
 	type linkInfo struct{ first, later bool }
 	links := map[topology.LinkKey]*linkInfo{}
 	seenAnn := map[string]bool{}
+	// keyBuf is the reusable announcement-identity scratch key: prefix
+	// addr+len then the poisoned ASNs, all fixed-width big-endian. The
+	// string(keyBuf) map probe does not allocate (the compiler keeps the
+	// conversion on the stack for lookups); only a first-seen insert pays
+	// for a copy. Announcements are identified by (prefix, poison set) —
+	// the same identity the retired string rendering encoded, without the
+	// per-step decimal formatting.
+	var keyBuf []byte
 	for _, r := range runs {
 		if len(r.Steps) == 0 {
 			continue
@@ -108,9 +117,13 @@ func (cx *Context) SummarizeAlternates(runs []peering.AlternateResult) Alternate
 		s.Targets++
 		s.Verdicts[cx.ClassifyAlternates(r)]++
 		for i, st := range r.Steps {
-			key := st.Route.Prefix.String() + "|" + poisonKey(st.PoisonedSoFar)
-			if !seenAnn[key] {
-				seenAnn[key] = true
+			keyBuf = binary.BigEndian.AppendUint32(keyBuf[:0], uint32(st.Route.Prefix.Addr))
+			keyBuf = append(keyBuf, st.Route.Prefix.Len)
+			for _, a := range st.PoisonedSoFar {
+				keyBuf = binary.BigEndian.AppendUint32(keyBuf, uint32(a))
+			}
+			if !seenAnn[string(keyBuf)] {
+				seenAnn[string(keyBuf)] = true
 				s.Announcements++
 			}
 			path := st.Route.ASPathFrom(r.Target)
@@ -139,13 +152,4 @@ func (cx *Context) SummarizeAlternates(runs []peering.AlternateResult) Alternate
 		}
 	}
 	return s
-}
-
-func poisonKey(asns []asn.ASN) string {
-	var b []byte
-	for _, a := range asns {
-		b = append(b, a.String()...)
-		b = append(b, ',')
-	}
-	return string(b)
 }

@@ -213,27 +213,30 @@ func (s *Scenario) activeProbeSet(rng *rand.Rand) []asn.ASN {
 
 // RunAlternatesCampaign discovers alternate routes for every AS observed
 // on paths toward the PEERING prefixes (§3.2/§4.4), up to the configured
-// cap. Each target's poisoning loop runs over its own computation, so
-// targets fan out across the worker pool; the result slice follows the
-// sorted target order regardless of worker count.
+// cap. The converged anycast base is built once (AnycastBase) and every
+// target's poisoning loop runs over its own copy-on-write fork of it, so
+// targets fan out across the worker pool without re-paying the base
+// convergence; the result slice follows the sorted target order
+// regardless of worker count.
 func (s *Scenario) RunAlternatesCampaign(rng *rand.Rand) []peering.AlternateResult {
 	prefix := s.Testbed.Prefixes[0]
 	targets := s.observedTargets(rng, prefix)
 	if limit := s.Cfg.MaxAlternateTargets; limit > 0 && len(targets) > limit {
 		targets = targets[:limit]
 	}
+	base := s.Testbed.AnycastBase(prefix)
 	return parallel.MapStage("scenario/alternates", targets, s.Cfg.RoutingWorkers,
 		func(_ int, t asn.ASN) peering.AlternateResult {
-			return s.Testbed.DiscoverAlternates(prefix, t)
+			return s.Testbed.DiscoverAlternatesFrom(base, t)
 		})
 }
 
 // observedTargets lists ASes seen on paths toward a PEERING prefix from
-// the monitors and the active probes (excluding the testbed itself).
+// the monitors and the active probes (excluding the testbed itself). It
+// reads the shared anycast base — the same converged state the discovery
+// runs fork from.
 func (s *Scenario) observedTargets(rng *rand.Rand, prefix asn.Prefix) []asn.ASN {
-	c := s.Engine.NewComputation(prefix)
-	c.Announce(bgp.Announcement{Origin: s.Testbed.Origin})
-	c.Converge()
+	c := s.Testbed.AnycastBase(prefix)
 	seen := map[asn.ASN]bool{}
 	walk := func(start asn.ASN) {
 		cur := start
