@@ -13,6 +13,10 @@
 //
 // Flags:
 //
+//	-spec PATH         build the world a declarative scenario spec
+//	                   describes (scenarios/*.yaml; see SCENARIOS.md)
+//	                   instead of the flag-built default
+//	-overlay A,B       overlay names to apply on top of -spec, in order
 //	-seed N            master seed (default 2015)
 //	-scale F           topology scale factor (default 1.0; 0.1 is fast)
 //	-traces N          traceroute campaign size (default 28510)
@@ -23,6 +27,12 @@
 //	                   timings plus every obs counter/gauge) as JSON
 //	-debug-addr ADDR   serve net/http/pprof and expvar on ADDR
 //	                   (e.g. localhost:6060) for live profiling
+//
+// With -spec, the spec's campaign sizing is taken at face value (the
+// small-scale probe adjustment below applies only to flag-built
+// configs), and any of -seed/-scale/-traces/-probes/-workers passed
+// explicitly still override the spec — "-spec x.yaml -seed 7" means
+// that world, reseeded.
 //
 // Output is byte-identical for any -workers value; the flag only trades
 // wall-clock for cores (see internal/parallel). The observability
@@ -43,10 +53,24 @@ import (
 	"routelab/internal/experiments"
 	"routelab/internal/obs"
 	"routelab/internal/scenario"
+	"routelab/internal/spec"
 )
+
+// splitOverlays parses the -overlay flag's comma-separated list.
+func splitOverlays(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
+		specPath    = flag.String("spec", "", "scenario spec file (YAML/JSON; see SCENARIOS.md)")
+		overlayList = flag.String("overlay", "", "comma-separated overlay names to apply (requires -spec)")
 		seed        = flag.Int64("seed", 2015, "master seed")
 		scale       = flag.Float64("scale", 1.0, "topology scale factor")
 		traces      = flag.Int("traces", 28510, "traceroute campaign size")
@@ -92,19 +116,50 @@ func main() {
 		}()
 	}
 
-	cfg := scenario.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Topology.Scale = *scale
-	cfg.TracesTarget = *traces
-	cfg.NumProbes = *probes
-	cfg.RoutingWorkers = *workers
-	if *scale < 0.5 {
-		// Small topologies have proportionally fewer probes available.
-		cfg.NumProbes = int(float64(cfg.NumProbes) * *scale * 2)
-		if cfg.NumProbes < 60 {
-			cfg.NumProbes = 60
+	var cfg scenario.Config
+	if *specPath != "" {
+		exp, err := spec.Expand(*specPath, splitOverlays(*overlayList))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routelab: spec:", err)
+			os.Exit(2)
 		}
-		cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
+		cfg = exp.Config
+		// Explicitly-passed flags still win over the spec; defaults do
+		// not. The spec's campaign sizing is authoritative, so the
+		// small-scale probe adjustment below is skipped here.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				cfg.Seed = *seed
+			case "scale":
+				cfg.Topology.Scale = *scale
+			case "traces":
+				cfg.TracesTarget = *traces
+			case "probes":
+				cfg.NumProbes = *probes
+			case "workers":
+				cfg.RoutingWorkers = *workers
+			}
+		})
+	} else {
+		if *overlayList != "" {
+			fmt.Fprintln(os.Stderr, "routelab: -overlay requires -spec")
+			os.Exit(2)
+		}
+		cfg = scenario.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Topology.Scale = *scale
+		cfg.TracesTarget = *traces
+		cfg.NumProbes = *probes
+		cfg.RoutingWorkers = *workers
+		if *scale < 0.5 {
+			// Small topologies have proportionally fewer probes available.
+			cfg.NumProbes = int(float64(cfg.NumProbes) * *scale * 2)
+			if cfg.NumProbes < 60 {
+				cfg.NumProbes = 60
+			}
+			cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "routelab: invalid flags:", err)
@@ -129,9 +184,9 @@ func main() {
 		rep := obs.NewReport()
 		rep.Command = "routelab " + strings.Join(os.Args[1:], " ")
 		rep.Experiment = name
-		rep.Seed = *seed
-		rep.Scale = *scale
-		rep.Workers = *workers
+		rep.Seed = cfg.Seed
+		rep.Scale = cfg.Topology.Scale
+		rep.Workers = cfg.RoutingWorkers
 		rep.WallNS = int64(time.Since(start))
 		rep.Metrics = obs.Snap()
 		if err := rep.WriteFile(*metricsJSON); err != nil {
@@ -147,7 +202,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "routelab:", err)
 		os.Exit(1)
 	}
-	if err := experiments.Run(name, os.Stdout, s, *seed); err != nil {
+	if err := experiments.Run(name, os.Stdout, s, cfg.Seed); err != nil {
 		writeMetrics()
 		fmt.Fprintln(os.Stderr, "routelab:", err)
 		os.Exit(1)

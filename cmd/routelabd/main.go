@@ -11,6 +11,9 @@
 // Flags:
 //
 //	-addr ADDR          listen address (default localhost:8080)
+//	-spec PATH          build the world a declarative scenario spec
+//	                    describes (scenarios/*.yaml; see SCENARIOS.md)
+//	-overlay A,B        overlay names to apply on top of -spec, in order
 //	-seed N             master seed (default 2015)
 //	-scale F            topology scale factor (default 1.0; 0.05 is smoke-test fast)
 //	-traces N           traceroute campaign size (default 28510)
@@ -48,11 +51,25 @@ import (
 	"routelab/internal/obs"
 	"routelab/internal/scenario"
 	"routelab/internal/service"
+	"routelab/internal/spec"
 )
+
+// splitOverlays parses the -overlay flag's comma-separated list.
+func splitOverlays(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:8080", "listen address")
+		specPath    = flag.String("spec", "", "scenario spec file (YAML/JSON; see SCENARIOS.md)")
+		overlayList = flag.String("overlay", "", "comma-separated overlay names to apply (requires -spec)")
 		seed        = flag.Int64("seed", 2015, "master seed")
 		scale       = flag.Float64("scale", 1.0, "topology scale factor")
 		traces      = flag.Int("traces", 28510, "traceroute campaign size")
@@ -73,20 +90,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := scenario.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Topology.Scale = *scale
-	cfg.TracesTarget = *traces
-	cfg.NumProbes = *probes
-	cfg.RoutingWorkers = *workers
-	if *scale < 0.5 {
-		// Small topologies have proportionally fewer probes available
-		// (same adjustment as cmd/routelab).
-		cfg.NumProbes = int(float64(cfg.NumProbes) * *scale * 2)
-		if cfg.NumProbes < 60 {
-			cfg.NumProbes = 60
+	var cfg scenario.Config
+	if *specPath != "" {
+		exp, err := spec.Expand(*specPath, splitOverlays(*overlayList))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routelabd: spec:", err)
+			os.Exit(2)
 		}
-		cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
+		cfg = exp.Config
+		// Explicitly-passed flags still win over the spec; defaults do
+		// not. The spec's campaign sizing is authoritative, so the
+		// small-scale probe adjustment below is skipped here (same
+		// semantics as cmd/routelab).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				cfg.Seed = *seed
+			case "scale":
+				cfg.Topology.Scale = *scale
+			case "traces":
+				cfg.TracesTarget = *traces
+			case "probes":
+				cfg.NumProbes = *probes
+			case "workers":
+				cfg.RoutingWorkers = *workers
+			}
+		})
+	} else {
+		if *overlayList != "" {
+			fmt.Fprintln(os.Stderr, "routelabd: -overlay requires -spec")
+			os.Exit(2)
+		}
+		cfg = scenario.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Topology.Scale = *scale
+		cfg.TracesTarget = *traces
+		cfg.NumProbes = *probes
+		cfg.RoutingWorkers = *workers
+		if *scale < 0.5 {
+			// Small topologies have proportionally fewer probes available
+			// (same adjustment as cmd/routelab).
+			cfg.NumProbes = int(float64(cfg.NumProbes) * *scale * 2)
+			if cfg.NumProbes < 60 {
+				cfg.NumProbes = 60
+			}
+			cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "routelabd: invalid flags:", err)
@@ -122,9 +171,9 @@ func main() {
 		}
 		rep := obs.NewReport()
 		rep.Command = "routelabd " + strings.Join(os.Args[1:], " ")
-		rep.Seed = *seed
-		rep.Scale = *scale
-		rep.Workers = *workers
+		rep.Seed = cfg.Seed
+		rep.Scale = cfg.Topology.Scale
+		rep.Workers = cfg.RoutingWorkers
 		rep.WallNS = int64(time.Since(start))
 		rep.Metrics = obs.Snap()
 		if err := rep.WriteFile(*metricsJSON); err != nil {

@@ -8,12 +8,13 @@ import (
 )
 
 // analyzerWallTime flags nondeterminism sources — wall-clock reads and
-// the globally seeded math/rand — inside the packages whose outputs the
-// 14 experiment goldens pin byte-for-byte: internal/experiments,
-// internal/classify, internal/inference, and internal/gaorexford. A
-// time.Now() or rand.Intn() there would not fail any test immediately;
-// it would silently make golden refreshes unreproducible, which is the
-// failure mode the seeded-run contract exists to prevent.
+// the globally seeded math/rand — inside the packages whose outputs
+// goldens pin byte-for-byte: internal/experiments, internal/classify,
+// internal/inference, internal/gaorexford (the 14 experiment goldens),
+// and internal/spec (the scenarios/golden corpus dumps). A time.Now()
+// or rand.Intn() there would not fail any test immediately; it would
+// silently make golden refreshes unreproducible, which is the failure
+// mode the seeded-run contract exists to prevent.
 //
 // Allowed: constructing scenario-seeded sources (rand.New,
 // rand.NewSource, and every other rand.New* constructor) and calling
@@ -22,7 +23,7 @@ import (
 func analyzerWallTime() *Analyzer {
 	return &Analyzer{
 		Name: "walltime",
-		Doc:  "no wall-clock or globally seeded randomness in golden-backed packages (experiments, classify, inference, gaorexford)",
+		Doc:  "no wall-clock or globally seeded randomness in golden-backed packages (experiments, classify, inference, gaorexford, spec)",
 		Run:  runWallTime,
 	}
 }
@@ -34,6 +35,7 @@ var wallTimeScopes = []string{
 	"internal/classify",
 	"internal/inference",
 	"internal/gaorexford",
+	"internal/spec",
 }
 
 // timeFuncs are the wall-clock reads the rule bans.

@@ -5,11 +5,14 @@ import (
 	"fmt"
 )
 
-// A ConfigError reports one invalid Config field. Validate returns
-// them (possibly several, joined with errors.Join), so callers can
-// match with errors.As and print the offending field.
+// A ConfigError reports one invalid Config field, named by its dotted
+// field path from the Config root (e.g. "Topology.HybridLinkRate"), so
+// tooling that compiles configs from documents — cmd/scengen and the
+// -spec flags of both binaries — can surface which field to fix
+// rather than a bare value. Validate returns them (possibly several,
+// joined with errors.Join); match with errors.As.
 type ConfigError struct {
-	Field  string // the Config field, e.g. "NumProbes"
+	Field  string // dotted path from Config, e.g. "Topology.Scale"
 	Value  any    // the rejected value
 	Reason string // why it was rejected
 }
@@ -19,10 +22,12 @@ func (e *ConfigError) Error() string {
 }
 
 // Validate checks the configuration for values no scenario can be
-// built from. It returns nil for every config Build can handle, and a
-// ConfigError (or several, via errors.Join) otherwise. Both binaries
-// call it before the expensive Build, and Build calls it again as a
-// backstop.
+// built from, covering the nested Topology, Traceroute, and GeoDB
+// configs as well as the campaign sizing. It returns nil for every
+// config Build can handle, and a ConfigError (or several, via
+// errors.Join) otherwise. Both binaries call it before the expensive
+// Build, spec.Compile calls it on every compiled document, and Build
+// calls it again as a backstop.
 func (c *Config) Validate() error {
 	var errs []error
 	bad := func(field string, value any, reason string) {
@@ -55,11 +60,93 @@ func (c *Config) Validate() error {
 	if c.MaxAlternateTargets < 0 {
 		bad("MaxAlternateTargets", c.MaxAlternateTargets, "must be >= 0 (0 = all observed targets)")
 	}
+	if c.ComplexCoverage < 0 || c.ComplexCoverage > 1 {
+		bad("ComplexCoverage", c.ComplexCoverage, "is a fraction in [0, 1]")
+	}
+
+	// Topology: the generated Internet's class counts and phenomenon
+	// rates. Counts of zero are legal (the generator applies floors);
+	// negatives never are.
 	if c.Topology.Scale < 0 {
 		bad("Topology.Scale", c.Topology.Scale, "must be >= 0 (0 = default scale 1.0)")
 	}
-	if c.ComplexCoverage < 0 || c.ComplexCoverage > 1 {
-		bad("ComplexCoverage", c.ComplexCoverage, "is a fraction in [0, 1]")
+	for _, f := range []struct {
+		field string
+		value int
+	}{
+		{"Topology.NumTier1", c.Topology.NumTier1},
+		{"Topology.NumLargeISP", c.Topology.NumLargeISP},
+		{"Topology.NumSmallISP", c.Topology.NumSmallISP},
+		{"Topology.NumStub", c.Topology.NumStub},
+		{"Topology.NumContent", c.Topology.NumContent},
+		{"Topology.NumCableOps", c.Topology.NumCableOps},
+		{"Topology.NumContentMajors", c.Topology.NumContentMajors},
+		{"Topology.NumHostnames", c.Topology.NumHostnames},
+		{"Topology.NumCDNCaches", c.Topology.NumCDNCaches},
+		{"Topology.SiblingGroups", c.Topology.SiblingGroups},
+		{"Topology.RetiredLinkCount", c.Topology.RetiredLinkCount},
+	} {
+		if f.value < 0 {
+			bad(f.field, f.value, "must be >= 0")
+		}
+	}
+	if c.Topology.NumHostnames < 1 {
+		bad("Topology.NumHostnames", c.Topology.NumHostnames,
+			"the campaign needs at least one content hostname to measure")
+	}
+	if c.Topology.NumContentMajors < 1 {
+		bad("Topology.NumContentMajors", c.Topology.NumContentMajors,
+			"need at least one major content provider to host the measured hostnames")
+	}
+	for _, f := range []struct {
+		field string
+		value float64
+	}{
+		{"Topology.SiblingFreemailRate", c.Topology.SiblingFreemailRate},
+		{"Topology.HybridLinkRate", c.Topology.HybridLinkRate},
+		{"Topology.PartialTransitRate", c.Topology.PartialTransitRate},
+		{"Topology.SelectiveExportRate", c.Topology.SelectiveExportRate},
+		{"Topology.ContentSelectiveRate", c.Topology.ContentSelectiveRate},
+		{"Topology.CacheSelectiveRate", c.Topology.CacheSelectiveRate},
+		{"Topology.DomesticBiasRate", c.Topology.DomesticBiasRate},
+		{"Topology.ContentPeerTERate", c.Topology.ContentPeerTERate},
+		{"Topology.ASSetFilterRate", c.Topology.ASSetFilterRate},
+		{"Topology.NoLoopPreventionRate", c.Topology.NoLoopPreventionRate},
+	} {
+		if f.value < 0 || f.value > 1 {
+			bad(f.field, f.value, "is a probability in [0, 1]")
+		}
+	}
+
+	// Traceroute: data-plane artifact rates. MaxHops of zero selects
+	// the full DefaultConfig (see traceroute.New), so it stays legal.
+	for _, f := range []struct {
+		field string
+		value float64
+	}{
+		{"Traceroute.NoReplyRate", c.Traceroute.NoReplyRate},
+		{"Traceroute.ThirdPartyRate", c.Traceroute.ThirdPartyRate},
+		{"Traceroute.IXPRate", c.Traceroute.IXPRate},
+	} {
+		if f.value < 0 || f.value > 1 {
+			bad(f.field, f.value, "is a probability in [0, 1]")
+		}
+	}
+	if c.Traceroute.MaxHops < 0 {
+		bad("Traceroute.MaxHops", c.Traceroute.MaxHops, "must be >= 0 (0 selects the default config)")
+	}
+
+	// GeoDB: the geolocation error model.
+	for _, f := range []struct {
+		field string
+		value float64
+	}{
+		{"GeoDB.MissRate", c.GeoDB.MissRate},
+		{"GeoDB.WrongCityRate", c.GeoDB.WrongCityRate},
+	} {
+		if f.value < 0 || f.value > 1 {
+			bad(f.field, f.value, "is a probability in [0, 1]")
+		}
 	}
 	return errors.Join(errs...)
 }

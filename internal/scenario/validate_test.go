@@ -30,6 +30,16 @@ func TestValidateRejects(t *testing.T) {
 		{"MaxAlternateTargets", func(c *Config) { c.MaxAlternateTargets = -1 }},
 		{"Topology.Scale", func(c *Config) { c.Topology.Scale = -0.1 }},
 		{"ComplexCoverage", func(c *Config) { c.ComplexCoverage = 1.5 }},
+		{"Topology.NumTier1", func(c *Config) { c.Topology.NumTier1 = -1 }},
+		{"Topology.NumStub", func(c *Config) { c.Topology.NumStub = -7 }},
+		{"Topology.NumHostnames", func(c *Config) { c.Topology.NumHostnames = 0 }},
+		{"Topology.NumContentMajors", func(c *Config) { c.Topology.NumContentMajors = 0 }},
+		{"Topology.HybridLinkRate", func(c *Config) { c.Topology.HybridLinkRate = 1.5 }},
+		{"Topology.DomesticBiasRate", func(c *Config) { c.Topology.DomesticBiasRate = -0.2 }},
+		{"Traceroute.NoReplyRate", func(c *Config) { c.Traceroute.NoReplyRate = 1.01 }},
+		{"Traceroute.MaxHops", func(c *Config) { c.Traceroute.MaxHops = -1 }},
+		{"GeoDB.MissRate", func(c *Config) { c.GeoDB.MissRate = 2 }},
+		{"GeoDB.WrongCityRate", func(c *Config) { c.GeoDB.WrongCityRate = -0.5 }},
 	}
 	for _, tc := range cases {
 		c := TestConfig()

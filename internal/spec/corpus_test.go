@@ -1,0 +1,146 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"routelab/internal/scenario"
+)
+
+const corpusDir = "../../scenarios"
+
+// corpusFiles lists the spec documents under scenarios/ (not the
+// goldens).
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(e.Name())
+		if ext == ".yaml" || ext == ".yml" || ext == ".json" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) < 12 {
+		t.Fatalf("corpus has %d specs, want at least 12", len(files))
+	}
+	return files
+}
+
+// TestCorpusExpandsDeterministically is the determinism contract for
+// the corpus: every spec loads, compiles, and produces byte-identical
+// canonical output when expanded twice.
+func TestCorpusExpandsDeterministically(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		path := filepath.Join(corpusDir, file)
+		first, err := Expand(path, nil)
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		a, err := first.MarshalCanonical()
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		second, err := Expand(path, nil)
+		if err != nil {
+			t.Errorf("%s: re-expand: %v", file, err)
+			continue
+		}
+		b, err := second.MarshalCanonical()
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: two expansions differ", file)
+		}
+	}
+}
+
+// TestCorpusMatchesGoldens re-runs scengen check's comparison inside go
+// test, so `go test ./...` alone catches a drifted corpus. Regenerate
+// with: go run ./cmd/scengen -update check scenarios
+func TestCorpusMatchesGoldens(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		e, err := Expand(filepath.Join(corpusDir, file), nil)
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		// scengen check normalizes Source so goldens are cwd-independent.
+		e.Source = "scenarios/" + file
+		got, err := e.MarshalCanonical()
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		goldenPath := filepath.Join(corpusDir, "golden", e.Name+".json")
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Errorf("%s: missing golden (run: go run ./cmd/scengen -update check scenarios): %v", file, err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: expansion differs from %s (regenerate with scengen -update check)", file, goldenPath)
+		}
+	}
+}
+
+// TestCorpusNamesUnique: goldens are keyed by spec name, so the corpus
+// cannot contain two documents with the same name.
+func TestCorpusNamesUnique(t *testing.T) {
+	seen := map[string]string{}
+	for _, file := range corpusFiles(t) {
+		s, err := Load(filepath.Join(corpusDir, file), nil)
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		if prev, dup := seen[s.Name]; dup {
+			t.Errorf("name %q claimed by both %s and %s", s.Name, prev, file)
+		}
+		seen[s.Name] = file
+	}
+}
+
+// TestPaperSpecMatchesDefaultConfig pins the acceptance criterion: the
+// canonical corpus entry compiles to exactly the hand-built
+// DefaultConfig, so a scenario built from scenarios/paper.yaml leaves
+// the 14 experiment goldens byte-identical to the default run.
+func TestPaperSpecMatchesDefaultConfig(t *testing.T) {
+	e, err := Expand(filepath.Join(corpusDir, "paper.yaml"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scenario.DefaultConfig()
+	if !reflect.DeepEqual(e.Config, want) {
+		lines, _ := Diff(e, &Expansion{Config: want})
+		t.Fatalf("paper.yaml no longer compiles to scenario.DefaultConfig():\n  %s",
+			strings.Join(lines, "\n  "))
+	}
+}
+
+// TestTestSpecMatchesTestConfig: same pin for the test-profile twin,
+// which the spec-layer tests and docs lean on.
+func TestTestSpecMatchesTestConfig(t *testing.T) {
+	e, err := Expand(filepath.Join(corpusDir, "test.yaml"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Config, scenario.TestConfig()) {
+		t.Fatal("test.yaml no longer compiles to scenario.TestConfig()")
+	}
+}

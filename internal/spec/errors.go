@@ -1,0 +1,49 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A FieldError reports one invalid spec-document field, named by its
+// dotted document path ("policy.hybrid_link_rate"), mirroring
+// scenario.ConfigError but speaking the spec file's vocabulary so
+// cmd/scengen can point the author at the offending line. Validate
+// joins several with errors.Join; match with errors.As.
+type FieldError struct {
+	Path   string // dotted document path, e.g. "topology.stubs"
+	Value  any    // the rejected value
+	Reason string // why it was rejected
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("spec: invalid field %s = %v: %s", e.Path, e.Value, e.Reason)
+}
+
+// A ParseError reports a syntax problem in a spec document, with the
+// 1-based line it was detected on (0 when the position is unknown,
+// e.g. for JSON documents).
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	name := e.File
+	if name == "" {
+		name = "spec"
+	}
+	if e.Line > 0 {
+		return fmt.Sprintf("%s:%d: %s", name, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", name, e.Msg)
+}
+
+// joinErrors is errors.Join with a stable nil for the empty slice.
+func joinErrors(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errors.Join(errs...)
+}

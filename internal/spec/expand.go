@@ -1,0 +1,177 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"routelab/internal/scenario"
+)
+
+// Expansion is the versioned envelope cmd/scengen emits for a compiled
+// spec ("routelab-scengen/v1") and the shape pinned byte-for-byte by
+// the scenarios/golden corpus dumps: which document, which overlays,
+// and the exact sealed Config it compiles to.
+type Expansion struct {
+	SpecVersion string          `json:"spec"`
+	Name        string          `json:"name"`
+	Description string          `json:"description,omitempty"`
+	Source      string          `json:"source,omitempty"`
+	Profile     string          `json:"profile"`
+	Overlays    []string        `json:"overlays"`
+	Config      scenario.Config `json:"config"`
+}
+
+// Expand loads a spec file, applies the overlay selection, and
+// compiles it. This is the one-call path cmd/scengen, cmd/routelab,
+// and cmd/routelabd share.
+func Expand(path string, overlays []string) (*Expansion, error) {
+	s, err := Load(path, overlays)
+	if err != nil {
+		return nil, err
+	}
+	return expand(s)
+}
+
+func expand(s *Spec) (*Expansion, error) {
+	cfg, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	profile := s.Profile
+	if profile == "" {
+		profile = "paper"
+	}
+	overlays := s.Applied
+	if overlays == nil {
+		overlays = []string{}
+	}
+	return &Expansion{
+		SpecVersion: ExpansionVersion,
+		Name:        s.Name,
+		Description: s.Description,
+		Source:      s.Source,
+		Profile:     profile,
+		Overlays:    overlays,
+		Config:      cfg,
+	}, nil
+}
+
+// MarshalCanonical renders the envelope as the canonical indented JSON
+// the goldens commit: fixed field order (struct order), two-space
+// indent, trailing newline. Byte-identical across runs and platforms.
+func (e *Expansion) MarshalCanonical() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Flatten renders the expansion's Config as sorted "path = value"
+// lines ("topology.NumTier1 = 12") — the text output of scengen
+// -expand and the vocabulary of Diff.
+func (e *Expansion) Flatten() ([]string, error) {
+	raw, err := json.Marshal(e.Config)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	flat := map[string]string{}
+	flattenInto(flat, "", v)
+	keys := make([]string, 0, len(flat))
+	for k := range flat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k + " = " + flat[k]
+	}
+	return out, nil
+}
+
+func flattenInto(flat map[string]string, prefix string, v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for _, k := range sortedKeys(t) {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenInto(flat, p, t[k])
+		}
+	case []any:
+		for i, e := range t {
+			flattenInto(flat, fmt.Sprintf("%s[%d]", prefix, i), e)
+		}
+	case json.Number:
+		flat[prefix] = t.String()
+	case string:
+		flat[prefix] = fmt.Sprintf("%q", t)
+	default:
+		flat[prefix] = fmt.Sprint(t)
+	}
+}
+
+// Diff compares two expansions' Configs field by field, returning one
+// "path: a -> b" line per differing field (empty = identical configs;
+// names and provenance are not compared). Missing fields render as
+// "<unset>".
+func Diff(a, b *Expansion) ([]string, error) {
+	fa, err := a.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	fb, err := b.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	toMap := func(lines []string) map[string]string {
+		m := make(map[string]string, len(lines))
+		for _, l := range lines {
+			if i := strings.Index(l, " = "); i >= 0 {
+				m[l[:i]] = l[i+3:]
+			}
+		}
+		return m
+	}
+	ma, mb := toMap(fa), toMap(fb)
+	keys := map[string]bool{}
+	for k := range ma {
+		keys[k] = true
+	}
+	for k := range mb {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	var out []string
+	for _, k := range ordered {
+		va, okA := ma[k]
+		vb, okB := mb[k]
+		if okA && okB && va == vb {
+			continue
+		}
+		if !okA {
+			va = "<unset>"
+		}
+		if !okB {
+			vb = "<unset>"
+		}
+		out = append(out, fmt.Sprintf("%s: %s -> %s", k, va, vb))
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package spec
+
+// deepMerge merges patch over base, configlet-style (the resolution
+// rule newtron's labgen uses for configlets, and the rule SCENARIOS.md
+// documents for overlays):
+//
+//   - mapping ∧ mapping: merge key-by-key, recursively
+//   - anything else: the patch value replaces the base value wholesale
+//     (sequences are NOT concatenated — an overlay that sets a list
+//     owns the whole list)
+//   - a null patch value deletes the base key, so an overlay can unset
+//     an inherited override and fall back to the profile default
+//
+// Inputs are never mutated; the result shares no mutable state with
+// either, which is what makes concurrent merges of the same base safe
+// (pinned by TestOverlayMergeConcurrent under -race).
+func deepMerge(base, patch any) any {
+	bm, bok := base.(map[string]any)
+	pm, pok := patch.(map[string]any)
+	if !bok || !pok {
+		return deepClone(patch)
+	}
+	out := make(map[string]any, len(bm)+len(pm))
+	for k, v := range bm {
+		out[k] = deepClone(v)
+	}
+	for k, v := range pm {
+		if v == nil {
+			delete(out, k)
+			continue
+		}
+		if cur, ok := out[k]; ok {
+			out[k] = deepMerge(cur, v)
+		} else {
+			out[k] = deepClone(v)
+		}
+	}
+	return out
+}
+
+// deepClone copies the generic document tree.
+func deepClone(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = deepClone(e)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = deepClone(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

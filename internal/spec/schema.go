@@ -1,0 +1,169 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+
+	"routelab/internal/scenario"
+)
+
+// fieldKind classifies a schema field for validation and resolution.
+type fieldKind int
+
+const (
+	// kindCount is a non-negative integer (AS class sizes, probe
+	// counts, epoch counts). Ranges draw inclusively.
+	kindCount fieldKind = iota
+	// kindRate is a probability in [0, 1].
+	kindRate
+	// kindScale is a non-negative float (topology.scale).
+	kindScale
+	// kindSeed is an integer sub-seed; ranges are rejected (a rolled
+	// seed would hide the thing that makes a run reproducible).
+	kindSeed
+)
+
+// fieldDef binds one spec document path to its kind and its slot in
+// scenario.Config. The table is the single source of truth: decode,
+// Validate, Compile, and the SCENARIOS.md reference all follow it.
+type fieldDef struct {
+	path string
+	kind fieldKind
+	set  func(cfg *scenario.Config, n *Num, seed int64)
+}
+
+// newIntDef/newFloatDef/newSeedDef build definitions whose writers
+// capture the field path once, for range resolution.
+
+func newIntDef(path string, kind fieldKind, dst func(*scenario.Config) *int) fieldDef {
+	return fieldDef{path: path, kind: kind, set: func(cfg *scenario.Config, n *Num, seed int64) {
+		*dst(cfg) = n.Int(seed, path)
+	}}
+}
+
+func newFloatDef(path string, kind fieldKind, dst func(*scenario.Config) *float64) fieldDef {
+	return fieldDef{path: path, kind: kind, set: func(cfg *scenario.Config, n *Num, seed int64) {
+		*dst(cfg) = n.Float(seed, path)
+	}}
+}
+
+func newSeedDef(path string, dst func(*scenario.Config) *int64) fieldDef {
+	return fieldDef{path: path, kind: kindSeed, set: func(cfg *scenario.Config, n *Num, seed int64) {
+		*dst(cfg) = int64(math.Round(n.Literal))
+	}}
+}
+
+// schema lists every overridable field in document order: the
+// topology section (class counts and structure), the policy section
+// (the paper's phenomenon rates), the campaign section (measurement
+// campaign sizing), and the measurement section (data-plane artifact
+// and geolocation error models).
+var schema = []fieldDef{
+	// topology — how big the synthetic Internet is.
+	newFloatDef("topology.scale", kindScale, func(c *scenario.Config) *float64 { return &c.Topology.Scale }),
+	newIntDef("topology.tier1s", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumTier1 }),
+	newIntDef("topology.large_isps", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumLargeISP }),
+	newIntDef("topology.small_isps", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumSmallISP }),
+	newIntDef("topology.stubs", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumStub }),
+	newIntDef("topology.content", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumContent }),
+	newIntDef("topology.cable_ops", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumCableOps }),
+	newIntDef("topology.content_majors", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumContentMajors }),
+	newIntDef("topology.hostnames", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumHostnames }),
+	newIntDef("topology.cdn_caches", kindCount, func(c *scenario.Config) *int { return &c.Topology.NumCDNCaches }),
+	newIntDef("topology.sibling_groups", kindCount, func(c *scenario.Config) *int { return &c.Topology.SiblingGroups }),
+	newIntDef("topology.retired_links", kindCount, func(c *scenario.Config) *int { return &c.Topology.RetiredLinkCount }),
+
+	// policy — the rates of the routing-policy phenomena the paper
+	// investigates (all probabilities in [0, 1]).
+	newFloatDef("policy.sibling_freemail_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.SiblingFreemailRate }),
+	newFloatDef("policy.hybrid_link_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.HybridLinkRate }),
+	newFloatDef("policy.partial_transit_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.PartialTransitRate }),
+	newFloatDef("policy.selective_export_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.SelectiveExportRate }),
+	newFloatDef("policy.content_selective_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.ContentSelectiveRate }),
+	newFloatDef("policy.cache_selective_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.CacheSelectiveRate }),
+	newFloatDef("policy.domestic_bias_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.DomesticBiasRate }),
+	newFloatDef("policy.content_peer_te_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.ContentPeerTERate }),
+	newFloatDef("policy.as_set_filter_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.ASSetFilterRate }),
+	newFloatDef("policy.no_loop_prevention_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Topology.NoLoopPreventionRate }),
+
+	// campaign — how the world is measured.
+	newIntDef("campaign.vantage_peers", kindCount, func(c *scenario.Config) *int { return &c.NumVantagePeers }),
+	newIntDef("campaign.historic_epochs", kindCount, func(c *scenario.Config) *int { return &c.HistoricEpochs }),
+	newIntDef("campaign.current_epochs", kindCount, func(c *scenario.Config) *int { return &c.CurrentEpochs }),
+	newIntDef("campaign.probes", kindCount, func(c *scenario.Config) *int { return &c.NumProbes }),
+	newIntDef("campaign.traces", kindCount, func(c *scenario.Config) *int { return &c.TracesTarget }),
+	newIntDef("campaign.active_probes", kindCount, func(c *scenario.Config) *int { return &c.ActiveProbes }),
+	newIntDef("campaign.planetlab_nodes", kindCount, func(c *scenario.Config) *int { return &c.PlanetLabNodes }),
+	newIntDef("campaign.max_alternate_targets", kindCount, func(c *scenario.Config) *int { return &c.MaxAlternateTargets }),
+	newFloatDef("campaign.complex_coverage", kindRate, func(c *scenario.Config) *float64 { return &c.ComplexCoverage }),
+
+	// measurement — data-plane artifact rates and the geolocation
+	// error model.
+	newFloatDef("measurement.no_reply_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Traceroute.NoReplyRate }),
+	newFloatDef("measurement.third_party_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Traceroute.ThirdPartyRate }),
+	newFloatDef("measurement.ixp_rate", kindRate, func(c *scenario.Config) *float64 { return &c.Traceroute.IXPRate }),
+	newIntDef("measurement.max_hops", kindCount, func(c *scenario.Config) *int { return &c.Traceroute.MaxHops }),
+	newSeedDef("measurement.trace_seed", func(c *scenario.Config) *int64 { return &c.Traceroute.Seed }),
+	newFloatDef("measurement.geo_miss_rate", kindRate, func(c *scenario.Config) *float64 { return &c.GeoDB.MissRate }),
+	newFloatDef("measurement.geo_wrong_city_rate", kindRate, func(c *scenario.Config) *float64 { return &c.GeoDB.WrongCityRate }),
+	newSeedDef("measurement.geo_seed", func(c *scenario.Config) *int64 { return &c.GeoDB.Seed }),
+}
+
+// schemaIndex resolves a dotted path to its definition.
+var schemaIndex = func() map[string]*fieldDef {
+	idx := make(map[string]*fieldDef, len(schema))
+	for i := range schema {
+		idx[schema[i].path] = &schema[i]
+	}
+	return idx
+}()
+
+// Sections are the top-level section keys, in document order.
+var Sections = []string{"topology", "policy", "campaign", "measurement"}
+
+// check validates one explicit value against the field's kind rules.
+func (d *fieldDef) check(path string, n *Num) error {
+	bad := func(v any, reason string) error {
+		return &FieldError{Path: path, Value: v, Reason: reason}
+	}
+	if n.Ranged {
+		if d.kind == kindSeed {
+			return bad(fmt.Sprintf("{min: %v, max: %v}", n.Min, n.Max),
+				"seeds cannot be ranged; a rolled seed would make the run irreproducible")
+		}
+		if n.Min > n.Max {
+			return bad(fmt.Sprintf("{min: %v, max: %v}", n.Min, n.Max), "range needs min <= max")
+		}
+	}
+	each := func(v float64) error {
+		switch d.kind {
+		case kindCount:
+			if v != math.Trunc(v) {
+				return bad(v, "must be an integer")
+			}
+			if v < 0 {
+				return bad(v, "must be >= 0")
+			}
+		case kindRate:
+			if v < 0 || v > 1 {
+				return bad(v, "is a probability in [0, 1]")
+			}
+		case kindScale:
+			if v < 0 {
+				return bad(v, "must be >= 0")
+			}
+		case kindSeed:
+			if v != math.Trunc(v) {
+				return bad(v, "must be an integer")
+			}
+		}
+		return nil
+	}
+	if n.Ranged {
+		if err := each(n.Min); err != nil {
+			return err
+		}
+		return each(n.Max)
+	}
+	return each(n.Literal)
+}

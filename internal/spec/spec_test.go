@@ -1,0 +1,460 @@
+package spec
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"routelab/internal/scenario"
+)
+
+func mustParse(t *testing.T, doc string, overlays ...string) *Spec {
+	t.Helper()
+	s, err := Parse("inline.yaml", []byte(doc), "yaml", overlays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestProfileDefaults(t *testing.T) {
+	s := mustParse(t, "spec: routelab-spec/v1\nname: bare\n")
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, scenario.DefaultConfig()) {
+		t.Error("empty spec with implicit paper profile should compile to DefaultConfig")
+	}
+
+	s = mustParse(t, "spec: routelab-spec/v1\nname: bare\nprofile: test\n")
+	cfg, err = s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, scenario.TestConfig()) {
+		t.Error("profile test should compile to TestConfig")
+	}
+}
+
+func TestFieldOverrides(t *testing.T) {
+	s := mustParse(t, `
+spec: routelab-spec/v1
+name: overrides
+profile: test
+seed: 99
+workers: 3
+topology:
+  tier1s: 7
+  scale: 0.4
+policy:
+  hybrid_link_rate: 0.25
+campaign:
+  probes: 123
+measurement:
+  max_hops: 40
+  trace_seed: 777
+`)
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scenario.TestConfig()
+	want.Seed = 99
+	want.RoutingWorkers = 3
+	want.Topology.NumTier1 = 7
+	want.Topology.Scale = 0.4
+	want.Topology.HybridLinkRate = 0.25
+	want.NumProbes = 123
+	want.Traceroute.MaxHops = 40
+	want.Traceroute.Seed = 777
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("compiled config mismatch:\n got %+v\nwant %+v", cfg, want)
+	}
+}
+
+func TestRangedFieldsDeterministic(t *testing.T) {
+	doc := `
+spec: routelab-spec/v1
+name: ranged
+profile: test
+seed: 42
+topology:
+  tier1s: {min: 5, max: 9}
+policy:
+  hybrid_link_rate: {min: 0.1, max: 0.3}
+`
+	a, err := mustParse(t, doc).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mustParse(t, doc).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same document must compile identically twice")
+	}
+	if a.Topology.NumTier1 < 5 || a.Topology.NumTier1 > 9 {
+		t.Errorf("ranged tier1s = %d, want in [5, 9]", a.Topology.NumTier1)
+	}
+	if a.Topology.HybridLinkRate < 0.1 || a.Topology.HybridLinkRate > 0.3 {
+		t.Errorf("ranged hybrid rate = %v, want in [0.1, 0.3]", a.Topology.HybridLinkRate)
+	}
+
+	// A different seed re-rolls the draws (with overwhelming likelihood
+	// at least one of the two fields moves).
+	c, err := mustParse(t, strings.Replace(doc, "seed: 42", "seed: 43", 1)).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Topology.NumTier1 == a.Topology.NumTier1 && c.Topology.HybridLinkRate == a.Topology.HybridLinkRate {
+		t.Error("changing the seed left every ranged field unchanged")
+	}
+}
+
+func TestResolveFracBounds(t *testing.T) {
+	paths := []string{"topology.tier1s", "policy.hybrid_link_rate", "campaign.probes", "x"}
+	for seed := int64(-3); seed < 50; seed++ {
+		for _, p := range paths {
+			f := resolveFrac(seed, p)
+			if f < 0 || f >= 1 {
+				t.Fatalf("resolveFrac(%d, %q) = %v, want [0, 1)", seed, p, f)
+			}
+		}
+	}
+	// Int draws must cover the full inclusive range and never escape it.
+	n := &Num{Min: 2, Max: 4, Ranged: true}
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		v := n.Int(seed, "campaign.probes")
+		if v < 2 || v > 4 {
+			t.Fatalf("Int draw %d escapes {2, 3, 4}", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("200 seeds drew only %v from {2, 3, 4}", seen)
+	}
+}
+
+func TestOverlays(t *testing.T) {
+	doc := `
+spec: routelab-spec/v1
+name: layered
+profile: test
+campaign:
+  probes: 100
+  traces: 1000
+overlays:
+  more-probes:
+    campaign:
+      probes: 500
+  more-traces:
+    campaign:
+      traces: 9000
+  drop-probes:
+    campaign:
+      probes: null
+`
+	// No overlays: base values.
+	cfg, err := mustParse(t, doc).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumProbes != 100 || cfg.TracesTarget != 1000 {
+		t.Errorf("base: probes=%d traces=%d", cfg.NumProbes, cfg.TracesTarget)
+	}
+
+	// Caller-selected overlays compose, later wins on conflicts.
+	cfg, err = mustParse(t, doc, "more-probes", "more-traces").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumProbes != 500 || cfg.TracesTarget != 9000 {
+		t.Errorf("overlaid: probes=%d traces=%d", cfg.NumProbes, cfg.TracesTarget)
+	}
+
+	// A null in a patch deletes the key, falling back to the profile.
+	cfg, err = mustParse(t, doc, "drop-probes").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumProbes != scenario.TestConfig().NumProbes {
+		t.Errorf("null override: probes=%d, want profile default %d",
+			cfg.NumProbes, scenario.TestConfig().NumProbes)
+	}
+
+	// Applied records the selection in order.
+	s := mustParse(t, doc, "more-traces", "more-probes")
+	if !reflect.DeepEqual(s.Applied, []string{"more-traces", "more-probes"}) {
+		t.Errorf("Applied = %v", s.Applied)
+	}
+}
+
+func TestOverlayOrderMatters(t *testing.T) {
+	doc := `
+spec: routelab-spec/v1
+name: order
+profile: test
+overlays:
+  a:
+    campaign:
+      probes: 111
+  b:
+    campaign:
+      probes: 222
+`
+	ab, err := mustParse(t, doc, "a", "b").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := mustParse(t, doc, "b", "a").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.NumProbes != 222 || ba.NumProbes != 111 {
+		t.Errorf("overlay order: a,b→%d b,a→%d (want 222 / 111)", ab.NumProbes, ba.NumProbes)
+	}
+}
+
+func TestInvalidFixtures(t *testing.T) {
+	cases := []struct {
+		file     string
+		overlays []string
+		wantMsg  string // substring of the error
+		wantType string // "field" or "parse"
+	}{
+		{"bad-version.yaml", nil, "unsupported spec version", "field"},
+		{"bad-name.yaml", nil, "must match [a-z0-9]", "field"},
+		{"unknown-field.yaml", nil, "unknown field", "field"},
+		{"unknown-section.yaml", nil, "unknown field", "field"},
+		{"bad-rate.yaml", nil, "probability in [0, 1]", "field"},
+		{"bad-range.yaml", nil, "min <= max", "field"},
+		{"seed-range.yaml", nil, "seeds cannot be ranged", "field"},
+		{"count-float.yaml", nil, "must be an integer", "field"},
+		{"negative-count.yaml", nil, "must be >= 0", "field"},
+		{"bad-profile.yaml", nil, "unknown profile", "field"},
+		{"overlay-unknown.yaml", nil, "overlay not defined", "field"},
+		{"overlay-banned.yaml", nil, "cannot change the document's identity", "field"},
+		{"overlay-dup.yaml", nil, "overlay applied twice", "field"},
+		{"tab.yaml", nil, "tab in indentation", "parse"},
+		{"cycle-a.yaml", nil, "base chain forms a cycle", "parse"},
+		{"bad-version.yaml", []string{"ghost"}, "overlay not defined", "field"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join("testdata", "invalid", tc.file)
+		_, err := Load(path, tc.overlays)
+		if err == nil {
+			t.Errorf("%s (overlays %v): accepted, want error", tc.file, tc.overlays)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not contain %q", tc.file, err, tc.wantMsg)
+		}
+		var fe *FieldError
+		var pe *ParseError
+		switch tc.wantType {
+		case "field":
+			if !errors.As(err, &fe) {
+				t.Errorf("%s: error is not a *FieldError: %v", tc.file, err)
+			}
+		case "parse":
+			if !errors.As(err, &pe) {
+				t.Errorf("%s: error is not a *ParseError: %v", tc.file, err)
+			}
+		}
+	}
+}
+
+func TestAllProblemsReportedTogether(t *testing.T) {
+	_, err := Parse("multi.yaml", []byte(`
+spec: routelab-spec/v1
+name: multi
+topology:
+  tier1s: -1
+policy:
+  hybrid_link_rate: 2.0
+`), "yaml", nil)
+	if err == nil {
+		t.Fatal("two bad fields accepted")
+	}
+	for _, want := range []string{"topology.tier1s", "policy.hybrid_link_rate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q misses %s", err, want)
+		}
+	}
+}
+
+func TestBaseChain(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("base.yaml", `
+spec: routelab-spec/v1
+name: base
+profile: test
+campaign:
+  probes: 100
+  traces: 1000
+overlays:
+  inherited:
+    campaign:
+      traces: 5000
+`)
+	child := write("child.yaml", `
+base: ./base.yaml
+name: child
+campaign:
+  probes: 250
+`)
+	s, err := Load(child, []string{"inherited"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "child" {
+		t.Errorf("name = %q, want child (child wins)", s.Name)
+	}
+	cfg, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// probes from the child, traces via the base's overlay, profile
+	// inherited from the base.
+	if cfg.NumProbes != 250 || cfg.TracesTarget != 5000 {
+		t.Errorf("probes=%d traces=%d, want 250/5000", cfg.NumProbes, cfg.TracesTarget)
+	}
+	if cfg.Seed != scenario.TestConfig().Seed {
+		t.Errorf("profile not inherited from base: seed=%d", cfg.Seed)
+	}
+}
+
+func TestParseRejectsBase(t *testing.T) {
+	_, err := Parse("x.yaml", []byte("base: ./a.yaml\nname: x\n"), "yaml", nil)
+	if err == nil || !strings.Contains(err.Error(), "use Load") {
+		t.Errorf("Parse with base: err = %v", err)
+	}
+}
+
+func TestJSONAndYAMLEquivalent(t *testing.T) {
+	yml := `
+spec: routelab-spec/v1
+name: twin
+profile: test
+seed: 7
+topology:
+  tier1s: 8
+policy:
+  hybrid_link_rate: 0.2
+`
+	jsn := `{
+  "spec": "routelab-spec/v1",
+  "name": "twin",
+  "profile": "test",
+  "seed": 7,
+  "topology": {"tier1s": 8},
+  "policy": {"hybrid_link_rate": 0.2}
+}`
+	a, err := Parse("twin.yaml", []byte(yml), "yaml", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("twin.json", []byte(jsn), "json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ca, cb) {
+		t.Error("YAML and JSON twins compiled differently")
+	}
+}
+
+func TestConcurrentExpansion(t *testing.T) {
+	// Overlay application deep-merges shared parsed documents; expanding
+	// the same spec from many goroutines must be race-free (run under
+	// -race) and byte-identical.
+	path := filepath.Join("..", "..", "scenarios", "valley-heavy.yaml")
+	want, err := Expand(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			e, err := Expand(path, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = e.MarshalCanonical()
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if string(results[i]) != string(wantBytes) {
+			t.Fatalf("goroutine %d produced different bytes", i)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, err := Expand(filepath.Join("..", "..", "scenarios", "test.yaml"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(filepath.Join("..", "..", "scenarios", "valley-heavy.yaml"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Diff(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != 0 {
+		t.Errorf("self-diff produced %v", same)
+	}
+	lines, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("test vs valley-heavy: no differences reported")
+	}
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Topology.HybridLinkRate: ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diff lines %v miss Topology.HybridLinkRate", lines)
+	}
+}
