@@ -1,0 +1,100 @@
+// Command loadcheck validates a LOAD_routelab.json load-harness
+// emission (schema routelab-load/v1, written by cmd/routeload) and
+// prints a human-readable summary, the way cmd/benchcheck validates
+// bench emissions. It exits non-zero on a missing, unparseable, or
+// malformed file — how CI's load-smoke job fails on a broken emission.
+//
+// Gates, all off unless set:
+//
+//   - -max-error-rate: fails when the run's error rate exceeds the
+//     threshold (percent). CI runs 0 — the fleet must serve a smoke-size
+//     schedule with zero transport errors, bad statuses, or invalid
+//     envelopes.
+//   - -max-p99: fails when whole-run p99 latency exceeds the duration.
+//     CI uses a deliberately lax cross-machine tripwire (catastrophic
+//     serialization or a build on the hot path), not a latency SLO —
+//     same philosophy as benchcheck's ns/op gate.
+//   - -min-throughput: fails below a req/s floor.
+//
+// Usage:
+//
+//	loadcheck [flags] [path]    (default LOAD_routelab.json)
+//	  -max-error-rate pct   allowed error rate in percent (default 0)
+//	  -max-p99 duration     p99 latency tripwire (0 = no gate)
+//	  -min-throughput rps   throughput floor (0 = no gate)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"routelab/internal/service"
+)
+
+func main() {
+	maxErrorRate := flag.Float64("max-error-rate", 0, "allowed error rate, in percent")
+	maxP99 := flag.Duration("max-p99", 0, "p99 latency tripwire (0 = no gate; keep it lax — cross-machine timings only catch blowups)")
+	minThroughput := flag.Float64("min-throughput", 0, "throughput floor in req/s (0 = no gate)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: loadcheck [-max-error-rate pct] [-max-p99 dur] [-min-throughput rps] [path to LOAD_routelab.json]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	path := "LOAD_routelab.json"
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		path = flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := service.ReadLoadReport(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadcheck:", err)
+		os.Exit(1)
+	}
+
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Printf("%s: valid %s emission (%s %s/%s, GOMAXPROCS %d)\n",
+		path, rep.Schema, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.GOMAXPROCS)
+	fmt.Printf("target %s: %d requests / %d clients over %v, %d scenario(s) %v\n",
+		rep.Target, rep.Requests, rep.Clients, time.Duration(rep.WallNS).Round(time.Millisecond),
+		len(rep.Scenarios), rep.Scenarios)
+	fmt.Printf("throughput %.1f req/s, error rate %.2f%%, cache hit rate %.1f%%\n",
+		rep.Throughput, rep.ErrorRate*100, rep.CacheHitRate*100)
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "endpoint\trequests\terrors\tp50 ms\tp90 ms\tp99 ms\tmax ms")
+	for _, ep := range rep.Endpoints {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			ep.Endpoint, ep.Requests, ep.Errors,
+			ms(ep.Latency.P50NS), ms(ep.Latency.P90NS), ms(ep.Latency.P99NS), ms(ep.Latency.MaxNS))
+	}
+	w.Flush()
+
+	ok := true
+	if rate := rep.ErrorRate * 100; rate > *maxErrorRate {
+		fmt.Fprintf(os.Stderr, "loadcheck: error rate %.2f%% EXCEEDS limit %.2f%% (%d/%d requests failed)\n",
+			rate, *maxErrorRate, rep.Errors, rep.Requests)
+		ok = false
+	}
+	if *maxP99 > 0 && rep.Latency.P99NS > int64(*maxP99) {
+		fmt.Fprintf(os.Stderr, "loadcheck: p99 latency %v EXCEEDS tripwire %v\n",
+			time.Duration(rep.Latency.P99NS).Round(time.Millisecond), *maxP99)
+		ok = false
+	}
+	if *minThroughput > 0 && rep.Throughput < *minThroughput {
+		fmt.Fprintf(os.Stderr, "loadcheck: throughput %.1f req/s BELOW floor %.1f req/s\n",
+			rep.Throughput, *minThroughput)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Printf("gates: ok (error rate <= %.2f%%, p99 tripwire %v, throughput floor %.1f req/s)\n",
+		*maxErrorRate, *maxP99, *minThroughput)
+}

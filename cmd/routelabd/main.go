@@ -1,8 +1,19 @@
 // Command routelabd serves the reproduction as a long-running query
-// service: it builds one sealed Scenario at startup (the expensive
-// part) and then answers classification, alternate-route, experiment,
-// and topology queries over HTTP/JSON — the versioned routelab-api/v1
-// (see internal/service).
+// service over HTTP/JSON — the versioned routelab-api/v1 (see
+// internal/service). It runs in one of two modes:
+//
+// Single-scenario (default): build one sealed Scenario at startup (the
+// expensive part) from flags or a -spec document, then answer
+// classification, alternate-route, experiment, and topology queries
+// under /v1/.
+//
+// Fleet (-scenario-dir): register every routelab-spec/v1 document in a
+// directory at boot — plus any admitted later via POST /v1/scenarios —
+// and serve them side by side under /v1/scenarios/{id}/..., building
+// each sealed scenario on first use, keeping up to -max-scenarios
+// resident (LRU), coalescing concurrent builds of the same id, and
+// giving every scenario its own admission gate, warm fork pools, and a
+// partition of the shared response cache.
 //
 // Usage:
 //
@@ -11,6 +22,9 @@
 // Flags:
 //
 //	-addr ADDR          listen address (default localhost:8080)
+//	-scenario-dir DIR   serve a fleet: register every spec in DIR
+//	-max-scenarios N    sealed scenarios kept resident (default 4)
+//	-max-builds N       concurrent scenario builds (default 1)
 //	-spec PATH          build the world a declarative scenario spec
 //	                    describes (scenarios/*.yaml; see SCENARIOS.md)
 //	-overlay A,B        overlay names to apply on top of -spec, in order
@@ -19,9 +33,10 @@
 //	-traces N           traceroute campaign size (default 28510)
 //	-probes N           selected probe count (default 1998)
 //	-workers N          parallel routing workers (0 = GOMAXPROCS, 1 = serial)
-//	-max-concurrent N   concurrent request computations (0 = GOMAXPROCS)
+//	-max-concurrent N   concurrent request computations per scenario (0 = GOMAXPROCS)
 //	-request-timeout D  per-request deadline (0 = none); expiry returns 504
-//	-cache N            response cache entries (default 256)
+//	-cache N            response cache entries (default 256; shared across the fleet)
+//	-fork-pool N        warm forks kept per testbed prefix (default 2)
 //	-drain D            shutdown drain budget for in-flight requests (default 30s)
 //	-quiet              suppress build progress
 //	-metrics-json PATH  write the obs run report as JSON on exit
@@ -29,9 +44,9 @@
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests (up to -drain), then exits 0. Responses are
-// byte-identical for any -workers / -max-concurrent values and any mix
-// of concurrent clients — the build-time determinism contract extended
-// to serve time.
+// byte-identical per scenario for any -workers / -max-concurrent
+// values and any mix of concurrent clients — the build-time
+// determinism contract extended to serve time, and to fleet time.
 package main
 
 import (
@@ -67,21 +82,25 @@ func splitOverlays(s string) []string {
 
 func main() {
 	var (
-		addr        = flag.String("addr", "localhost:8080", "listen address")
-		specPath    = flag.String("spec", "", "scenario spec file (YAML/JSON; see SCENARIOS.md)")
-		overlayList = flag.String("overlay", "", "comma-separated overlay names to apply (requires -spec)")
-		seed        = flag.Int64("seed", 2015, "master seed")
-		scale       = flag.Float64("scale", 1.0, "topology scale factor")
-		traces      = flag.Int("traces", 28510, "traceroute campaign size")
-		probes      = flag.Int("probes", 1998, "selected probe count")
-		workers     = flag.Int("workers", 0, "parallel routing workers (0 = all cores, 1 = serial)")
-		maxConc     = flag.Int("max-concurrent", 0, "concurrent request computations (0 = all cores)")
-		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
-		cacheSize   = flag.Int("cache", 256, "response cache entries")
-		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
-		quiet       = flag.Bool("quiet", false, "suppress build progress")
-		metricsJSON = flag.String("metrics-json", "", "write a structured metrics report (JSON) to this path on exit")
-		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address")
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		scenarioDir  = flag.String("scenario-dir", "", "serve a fleet: register every scenario spec in this directory")
+		maxScenarios = flag.Int("max-scenarios", 4, "sealed scenarios kept resident (fleet mode)")
+		maxBuilds    = flag.Int("max-builds", 1, "concurrent scenario builds (fleet mode)")
+		specPath     = flag.String("spec", "", "scenario spec file (YAML/JSON; see SCENARIOS.md)")
+		overlayList  = flag.String("overlay", "", "comma-separated overlay names to apply (requires -spec)")
+		seed         = flag.Int64("seed", 2015, "master seed")
+		scale        = flag.Float64("scale", 1.0, "topology scale factor")
+		traces       = flag.Int("traces", 28510, "traceroute campaign size")
+		probes       = flag.Int("probes", 1998, "selected probe count")
+		workers      = flag.Int("workers", 0, "parallel routing workers (0 = all cores, 1 = serial)")
+		maxConc      = flag.Int("max-concurrent", 0, "concurrent request computations per scenario (0 = all cores)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
+		cacheSize    = flag.Int("cache", 256, "response cache entries")
+		forkPool     = flag.Int("fork-pool", 0, "warm forks kept per testbed prefix (0 = default)")
+		drain        = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		quiet        = flag.Bool("quiet", false, "suppress build progress")
+		metricsJSON  = flag.String("metrics-json", "", "write a structured metrics report (JSON) to this path on exit")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -90,8 +109,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cfg scenario.Config
-	if *specPath != "" {
+	tenantCfg := service.Config{
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *reqTimeout,
+		CacheSize:      *cacheSize,
+		ForkPool:       *forkPool,
+	}
+
+	logf := scenario.Logf(nil)
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var cfg scenario.Config // single-scenario mode only
+	if *scenarioDir != "" {
+		// Fleet mode: each registered spec is the whole world
+		// description, so the single-scenario shape flags don't apply.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "spec", "overlay", "seed", "scale", "traces", "probes", "workers":
+				fmt.Fprintf(os.Stderr, "routelabd: -%s does not apply in fleet mode (-scenario-dir); the specs are authoritative\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	} else if *specPath != "" {
 		exp, err := spec.Expand(*specPath, splitOverlays(*overlayList))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "routelabd: spec:", err)
@@ -137,9 +180,11 @@ func main() {
 			cfg.TracesTarget = int(float64(cfg.TracesTarget) * *scale * 2)
 		}
 	}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "routelabd: invalid flags:", err)
-		os.Exit(2)
+	if *scenarioDir == "" {
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "routelabd: invalid flags:", err)
+			os.Exit(2)
+		}
 	}
 
 	if *debugAddr != "" {
@@ -155,13 +200,6 @@ func main() {
 				fmt.Fprintln(os.Stderr, "routelabd: debug server:", err)
 			}
 		}()
-	}
-
-	logf := scenario.Logf(nil)
-	if !*quiet {
-		logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
 	}
 
 	start := time.Now()
@@ -183,24 +221,39 @@ func main() {
 		}
 	}
 
-	s, err := scenario.Build(cfg, logf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "routelabd:", err)
-		os.Exit(1)
+	var handler http.Handler
+	if *scenarioDir != "" {
+		store := service.NewStore(service.StoreConfig{
+			MaxScenarios: *maxScenarios,
+			MaxBuilds:    *maxBuilds,
+			CacheSize:    *cacheSize,
+			Tenant:       tenantCfg,
+			Logf:         logf,
+		})
+		n, err := store.RegisterDir(*scenarioDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routelabd:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "routelabd: fleet of %d scenario(s) from %s: %s\n",
+			n, *scenarioDir, strings.Join(store.IDs(), ", "))
+		handler = service.NewFleet(store).Handler()
+	} else {
+		s, err := scenario.Build(cfg, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routelabd:", err)
+			os.Exit(1)
+		}
+		handler = service.New(s, tenantCfg).Handler()
 	}
 
-	srv := service.New(s, service.Config{
-		MaxConcurrent:  *maxConc,
-		RequestTimeout: *reqTimeout,
-		CacheSize:      *cacheSize,
-	})
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "routelabd:", err)
 		os.Exit(1)
 	}
-	// The smoke test and other supervisors wait for this line before
+	// The smoke tests and other supervisors wait for this line before
 	// sending traffic.
 	fmt.Fprintf(os.Stderr, "routelabd: serving routelab-api/v1 on http://%s/v1/\n", ln.Addr())
 

@@ -1,0 +1,288 @@
+// Command routeload drives a running routelabd fleet with N concurrent
+// clients over a mixed scenario/endpoint schedule and emits a
+// routelab-load/v1 report (throughput, p50/p90/p99 latency, error and
+// cache-hit rates, per-endpoint and per-scenario breakdowns) that
+// cmd/loadcheck validates and gates on — the serve-time counterpart of
+// the bench harness + cmd/benchcheck pair.
+//
+// Usage:
+//
+//	routeload [flags]
+//
+// Flags:
+//
+//	-addr ADDR       routelabd address (default localhost:8080)
+//	-scenarios A,B   scenario ids to drive (default: every id the fleet
+//	                 lists — beware, that builds every registered world)
+//	-clients N       concurrent clients (default 8)
+//	-requests N      total request budget across all clients (default 200)
+//	-timeout D       per-request client timeout (default 5m; first
+//	                 requests wait on scenario builds)
+//	-out PATH        write the routelab-load/v1 emission here
+//	                 (default LOAD_routelab.json; "" skips the file)
+//
+// The schedule is deterministic: request j targets scenario j mod S and
+// walks the endpoint mix in order, so two runs against the same fleet
+// issue the same requests in the same per-client order. Every response
+// body is validated against routelab-api/v1; a transport error, an
+// unexpected status, or an invalid envelope counts as an error in the
+// report (and loadcheck fails CI on any).
+//
+// Warmup (one healthz per scenario to trigger the build, plus probe
+// requests to discover a live trace id and AS) happens before the
+// clock starts; the report measures steady-state serving only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"routelab/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "routelabd address")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario ids (default: all registered)")
+		clients   = flag.Int("clients", 8, "concurrent clients")
+		requests  = flag.Int("requests", 200, "total request budget")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-request client timeout")
+		out       = flag.String("out", "LOAD_routelab.json", "write the routelab-load/v1 emission here (empty = skip)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "routeload: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *clients < 1 || *requests < 1 {
+		fmt.Fprintln(os.Stderr, "routeload: -clients and -requests must be >= 1")
+		os.Exit(2)
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+
+	ids := splitIDs(*scenarios)
+	if len(ids) == 0 {
+		var err error
+		ids, err = discoverScenarios(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routeload:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "routeload: driving %d scenario(s) %v with %d clients, %d requests\n",
+		len(ids), ids, *clients, *requests)
+
+	// Warmup: build every scenario and discover per-scenario request
+	// parameters before the clock starts.
+	var urls []target
+	for _, id := range ids {
+		ts, err := warmup(client, base, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routeload: warmup %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		urls = append(urls, ts...)
+	}
+
+	samples := run(client, urls, ids, *clients, *requests)
+
+	rep := service.BuildLoadReport(
+		"routeload "+strings.Join(os.Args[1:], " "),
+		base, ids, *clients, samples.wallNS, samples.s)
+	printSummary(rep)
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "routeload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "routeload: emission written to %s\n", *out)
+	}
+}
+
+func splitIDs(s string) []string {
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// target is one schedulable request: which scenario it counts against
+// and which endpoint family it exercises.
+type target struct {
+	scenario string
+	endpoint string
+	url      string
+}
+
+// discoverScenarios asks the fleet for its registered ids.
+func discoverScenarios(client *http.Client, base string) ([]string, error) {
+	resp, err := client.Get(base + "/v1/scenarios")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/scenarios: status %d (is routelabd running with -scenario-dir?)", resp.StatusCode)
+	}
+	env, err := service.ReadEnvelope(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var data service.ScenariosData
+	if err := unmarshalData(env, "scenarios", &data); err != nil {
+		return nil, err
+	}
+	if len(data.Scenarios) == 0 {
+		return nil, fmt.Errorf("fleet has no registered scenarios")
+	}
+	ids := make([]string, 0, len(data.Scenarios))
+	for _, in := range data.Scenarios {
+		ids = append(ids, in.ID)
+	}
+	return ids, nil
+}
+
+// warmup builds scenario id (first touch) and assembles its endpoint
+// mix: a live trace id probed the way scripts/service_smoke.sh does,
+// and an AS taken from that trace's first routing decision.
+func warmup(client *http.Client, base, id string) ([]target, error) {
+	prefix := base + "/v1/scenarios/" + id
+	if _, _, err := fetch(client, prefix+"/healthz"); err != nil {
+		return nil, err
+	}
+	var classifyURL string
+	var classify service.ClassifyData
+	for t := 0; t < 200; t++ {
+		u := fmt.Sprintf("%s/classify?trace=%d", prefix, t)
+		resp, err := client.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		env, err := service.ReadEnvelope(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := unmarshalData(env, "classify", &classify); err != nil {
+			return nil, err
+		}
+		classifyURL = u
+		break
+	}
+	if classifyURL == "" || len(classify.Decisions) == 0 {
+		return nil, fmt.Errorf("no usable trace found in ids 0..199")
+	}
+	as := strings.TrimPrefix(classify.Decisions[0].At, "AS")
+	return []target{
+		{id, "healthz", prefix + "/healthz"},
+		{id, "classify", classifyURL},
+		{id, "as", prefix + "/as/" + as},
+		{id, "alternates", prefix + "/alternates?target=" + as},
+		{id, "experiments", prefix + "/experiments/table1"},
+	}, nil
+}
+
+func unmarshalData(env service.Envelope, kind string, v any) error {
+	if env.Kind != kind {
+		return fmt.Errorf("envelope kind %q, want %q", env.Kind, kind)
+	}
+	return json.Unmarshal(env.Data, v)
+}
+
+// fetch issues one GET and validates the envelope; returns the status
+// and the cache header.
+func fetch(client *http.Client, url string) (status int, cacheHdr string, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	cacheHdr = resp.Header.Get(service.CacheHeader)
+	if _, err := service.ReadEnvelope(resp.Body); err != nil {
+		return resp.StatusCode, cacheHdr, fmt.Errorf("%s: %w", url, err)
+	}
+	return resp.StatusCode, cacheHdr, nil
+}
+
+type runResult struct {
+	s      []service.LoadSample
+	wallNS int64
+}
+
+// run executes the deterministic schedule: request j targets
+// urls[j mod len(urls)], jobs are handed to clients in order, and each
+// client's samples land in a per-request slot (no append races).
+func run(client *http.Client, urls []target, ids []string, clients, requests int) runResult {
+	samples := make([]service.LoadSample, requests)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t := urls[j%len(urls)]
+				reqStart := time.Now()
+				status, cacheHdr, err := fetch(client, t.url)
+				samples[j] = service.LoadSample{
+					Scenario:  t.scenario,
+					Endpoint:  t.endpoint,
+					LatencyNS: int64(time.Since(reqStart)),
+					Status:    status,
+					Cache:     cacheHdr,
+					Failed:    err != nil || status != http.StatusOK,
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "routeload: %v\n", err)
+				} else if status != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "routeload: %s: status %d\n", t.url, status)
+				}
+			}
+		}()
+	}
+	for j := 0; j < requests; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	return runResult{s: samples, wallNS: int64(time.Since(start))}
+}
+
+func printSummary(rep service.LoadReport) {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Printf("%s: %d requests, %d clients, %d scenario(s), %.1fs wall\n",
+		rep.Schema, rep.Requests, rep.Clients, len(rep.Scenarios), float64(rep.WallNS)/1e9)
+	fmt.Printf("throughput %.1f req/s, errors %d (%.2f%%), cache hit rate %.1f%% (%d/%d counted)\n",
+		rep.Throughput, rep.Errors, rep.ErrorRate*100,
+		rep.CacheHitRate*100, rep.CacheHits, rep.CacheHits+rep.CacheMisses)
+	fmt.Printf("latency p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms\n",
+		ms(rep.Latency.P50NS), ms(rep.Latency.P90NS), ms(rep.Latency.P99NS), ms(rep.Latency.MaxNS))
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "endpoint\trequests\terrors\tp50 ms\tp99 ms")
+	for _, ep := range rep.Endpoints {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\n",
+			ep.Endpoint, ep.Requests, ep.Errors, ms(ep.Latency.P50NS), ms(ep.Latency.P99NS))
+	}
+	w.Flush()
+	for _, sc := range rep.PerScenario {
+		fmt.Printf("scenario %s: %d requests, %d errors\n", sc.Scenario, sc.Requests, sc.Errors)
+	}
+}

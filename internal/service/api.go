@@ -37,7 +37,7 @@ import (
 const Schema = "routelab-api/v1"
 
 // Kinds lists the envelope kinds the API emits.
-var Kinds = []string{"health", "metrics", "classify", "alternates", "experiment", "as", "error"}
+var Kinds = []string{"health", "metrics", "classify", "alternates", "experiment", "as", "scenarios", "scenario", "error"}
 
 // Envelope is the versioned wrapper around every response body.
 type Envelope struct {
@@ -160,6 +160,45 @@ type ExperimentData struct {
 // MetricsData is the /v1/metrics payload.
 type MetricsData struct {
 	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// ScenarioInfo describes one registered scenario of the fleet: its
+// spec identity plus whether a sealed build is currently resident in
+// the store's LRU.
+type ScenarioInfo struct {
+	ID          string   `json:"id"`
+	Description string   `json:"description,omitempty"`
+	Profile     string   `json:"profile"`
+	Overlays    []string `json:"overlays,omitempty"`
+	// Origin is where the spec came from: the file path for -scenario-dir
+	// registrations, "api" for POST /v1/scenarios admissions.
+	Origin string  `json:"origin"`
+	Seed   int64   `json:"seed"`
+	Scale  float64 `json:"scale"`
+	Built  bool    `json:"built"`
+}
+
+// ScenariosData is the GET /v1/scenarios payload: every registered
+// scenario, sorted by id.
+type ScenariosData struct {
+	Count     int            `json:"count"`
+	Built     int            `json:"built"`
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+// ScenarioData is the per-scenario payload: GET /v1/scenarios/{id} and
+// the POST /v1/scenarios admission response.
+type ScenarioData struct {
+	Scenario ScenarioInfo `json:"scenario"`
+}
+
+// FleetHealthData is the fleet-mode /v1/healthz payload: the store
+// summary instead of one scenario's shape (liveness is the 200 itself).
+type FleetHealthData struct {
+	Status    string   `json:"status"`
+	Scenarios int      `json:"scenarios"`
+	Built     int      `json:"built"`
+	IDs       []string `json:"ids"`
 }
 
 // ErrorData is the error-envelope payload.

@@ -42,37 +42,39 @@ func newCache(capacity int) *cache {
 }
 
 // do returns the cached body for key, joining an in-flight computation
-// or running fn to produce it. Only successful results are cached.
-// Waiters honor their own ctx; when the computing caller's ctx kills
-// the computation, surviving waiters retry rather than inherit the
-// stranger's deadline.
-func (c *cache) do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error) {
+// or running fn to produce it. The returned hit flag reports whether
+// the body was served from the LRU (a computation that ran — or was
+// joined in flight — counts as a miss). Only successful results are
+// cached. Waiters honor their own ctx; when the computing caller's ctx
+// kills the computation, surviving waiters retry rather than inherit
+// the stranger's deadline.
+func (c *cache) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, hit bool, err error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			c.order.MoveToFront(el)
 			body := el.Value.(*entry).body
 			c.mu.Unlock()
-			return body, nil
+			return body, true, nil
 		}
 		if cl, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
 			select {
 			case <-cl.done:
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, false, ctx.Err()
 			}
 			if cl.err == nil {
-				return cl.body, nil
+				return cl.body, false, nil
 			}
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return nil, false, ctx.Err()
 			}
 			// The computation died on ITS caller's context (or a real
 			// error); our context is still live, so try again — either a
 			// fresh inflight exists or we become the computer.
 			if cl.err != context.Canceled && cl.err != context.DeadlineExceeded {
-				return nil, cl.err
+				return nil, false, cl.err
 			}
 			continue
 		}
@@ -88,7 +90,7 @@ func (c *cache) do(ctx context.Context, key string, fn func() ([]byte, error)) (
 		}
 		c.mu.Unlock()
 		close(cl.done)
-		return cl.body, cl.err
+		return cl.body, false, cl.err
 	}
 }
 
@@ -112,4 +114,27 @@ func (c *cache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// removePrefix drops every cached body whose key starts with prefix —
+// the partition purge the scenario store runs when it evicts a sealed
+// scenario, so an evicted tenant's memory is actually released and a
+// rebuild serves freshly-computed (byte-identical) bodies. In-flight
+// computations are left alone; they complete and re-insert, which is
+// harmless because responses are deterministic per key.
+func (c *cache) removePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			removed++
+		}
+		el = next
+	}
+	return removed
 }

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"routelab/internal/spec"
+)
+
+// Fleet is the multi-scenario face of the service: /v1/scenarios
+// listing and admission over a Store, plus per-scenario routing that
+// resolves {id} to a tenant Server (building the sealed scenario on
+// demand) and delegates to the same endpoint handlers the
+// single-scenario mode serves. Every tenant keeps its own admission
+// gate and a scenario-id-keyed partition of the shared response cache,
+// so tenants bound their compute independently and can never
+// cross-serve cached bodies.
+type Fleet struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewFleet assembles the fleet handler over a store.
+func NewFleet(store *Store) *Fleet {
+	f := &Fleet{store: store, mux: http.NewServeMux()}
+	instrument(f.mux, "GET /v1/healthz", "healthz", f.serveHealthz)
+	instrument(f.mux, "GET /v1/metrics", "metrics", serveMetrics)
+	instrument(f.mux, "GET /v1/scenarios", "scenarios", f.serveScenarios)
+	instrument(f.mux, "POST /v1/scenarios", "admit", f.serveAdmit)
+	instrument(f.mux, "GET /v1/scenarios/{id}", "scenario", f.serveScenario)
+	instrument(f.mux, "GET /v1/scenarios/{id}/healthz", "healthz", f.tenant((*Server).serveHealthz))
+	instrument(f.mux, "GET /v1/scenarios/{id}/classify", "classify", f.tenant((*Server).serveClassify))
+	instrument(f.mux, "GET /v1/scenarios/{id}/alternates", "alternates", f.tenant((*Server).serveAlternates))
+	instrument(f.mux, "GET /v1/scenarios/{id}/experiments/{name}", "experiments", f.tenant((*Server).serveExperiment))
+	instrument(f.mux, "GET /v1/scenarios/{id}/as/{asn}", "as", f.tenant((*Server).serveAS))
+	f.mux.HandleFunc("/", serveNotFound)
+	return f
+}
+
+// Handler returns the fleet's http.Handler (the /v1 API).
+func (f *Fleet) Handler() http.Handler { return f.mux }
+
+// Store returns the underlying scenario store.
+func (f *Fleet) Store() *Store { return f.store }
+
+// tenant adapts a per-scenario endpoint handler: resolve {id} through
+// the store — an LRU hit, a coalesced wait, or a fresh build — then
+// delegate. The request context bounds the resolution wait.
+func (f *Fleet) tenant(h func(*Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		srv, err := f.store.Get(r.Context(), r.PathValue("id"))
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		h(srv, w, r)
+	}
+}
+
+// writeStoreError maps a store resolution failure to a status: unknown
+// id is 404, a context death while waiting on a build is 504, a failed
+// build 500.
+func writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownScenario):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "scenario build wait: "+err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (f *Fleet) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	infos := f.store.Infos()
+	data := FleetHealthData{Status: "ok", Scenarios: len(infos), IDs: make([]string, 0, len(infos))}
+	for _, in := range infos {
+		if in.Built {
+			data.Built++
+		}
+		data.IDs = append(data.IDs, in.ID)
+	}
+	body, err := marshalEnvelope("health", data)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, body)
+}
+
+func (f *Fleet) serveScenarios(w http.ResponseWriter, _ *http.Request) {
+	infos := f.store.Infos()
+	data := ScenariosData{Count: len(infos), Scenarios: infos}
+	for _, in := range infos {
+		if in.Built {
+			data.Built++
+		}
+	}
+	body, err := marshalEnvelope("scenarios", data)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, body)
+}
+
+func (f *Fleet) serveScenario(w http.ResponseWriter, r *http.Request) {
+	info, err := f.store.Info(r.PathValue("id"))
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	body, err := marshalEnvelope("scenario", ScenarioData{Scenario: info})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, body)
+}
+
+// maxSpecBytes bounds an admitted spec document; corpus specs are a
+// few hundred bytes, so 1 MiB is generous without letting a client
+// hold the handler on an unbounded body.
+const maxSpecBytes = 1 << 20
+
+// serveAdmit is the POST /v1/scenarios admission path: the body is a
+// routelab-spec/v1 document (YAML or JSON; no base: chains — those
+// need file resolution), compiled and validated before registration.
+// Like -scenario-dir registration, admission is cheap; the sealed
+// scenario is built on the first per-scenario request.
+func (f *Fleet) serveAdmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read spec body: "+err.Error())
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec document exceeds 1 MiB")
+		return
+	}
+	format, err := specFormat(r, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sp, err := spec.Parse("request body", body, format, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: "+err.Error())
+		return
+	}
+	exp, err := sp.Expansion()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: "+err.Error())
+		return
+	}
+	if err := f.store.Register(exp, "api"); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	info, err := f.store.Info(exp.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp, err := marshalEnvelope("scenario", ScenarioData{Scenario: info})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	write(w, resp)
+}
+
+// specFormat picks the admission document's parser: an explicit
+// ?format= wins, then the Content-Type, then a sniff (a JSON document
+// starts with '{'; everything else is YAML, which spec.Parse rejects
+// with a file:line error if it is neither).
+func specFormat(r *http.Request, body []byte) (string, error) {
+	switch q := r.URL.Query().Get("format"); q {
+	case "json", "yaml":
+		return q, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (have yaml, json)", q)
+	}
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		return "json", nil
+	}
+	if b := bytes.TrimLeft(body, " \t\r\n"); len(b) > 0 && b[0] == '{' {
+		return "json", nil
+	}
+	return "yaml", nil
+}

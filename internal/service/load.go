@@ -1,0 +1,290 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// LoadSchema identifies the load-harness emission (cmd/routeload
+// writes it, cmd/loadcheck validates and gates on it) the way
+// routelab-bench/v1 identifies bench emissions.
+const LoadSchema = "routelab-load/v1"
+
+// LoadSample is one request's outcome as the harness observed it.
+type LoadSample struct {
+	Scenario  string // scenario id ("" for fleet-level endpoints)
+	Endpoint  string // endpoint family: healthz, classify, ...
+	LatencyNS int64
+	Status    int    // HTTP status (0 when the request itself failed)
+	Cache     string // CacheHeader value: "hit", "miss", or ""
+	Failed    bool   // transport error, bad status, or invalid envelope
+}
+
+// LoadLatency is a latency distribution in nanoseconds.
+type LoadLatency struct {
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// LoadEndpoint is one endpoint family's slice of the run.
+type LoadEndpoint struct {
+	Endpoint string      `json:"endpoint"`
+	Requests int64       `json:"requests"`
+	Errors   int64       `json:"errors"`
+	Latency  LoadLatency `json:"latency"`
+}
+
+// LoadScenario is one scenario's slice of the run.
+type LoadScenario struct {
+	Scenario string `json:"scenario"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+}
+
+// LoadReport is the routelab-load/v1 emission: the whole run's
+// throughput, latency distribution, error and cache-hit rates, plus
+// per-endpoint and per-scenario breakdowns.
+type LoadReport struct {
+	Schema     string `json:"schema"`
+	Command    string `json:"command"`
+	Target     string `json:"target"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Clients      int         `json:"clients"`
+	Scenarios    []string    `json:"scenarios"`
+	WallNS       int64       `json:"wall_ns"`
+	Requests     int64       `json:"requests"`
+	Errors       int64       `json:"errors"`
+	ErrorRate    float64     `json:"error_rate"`
+	Throughput   float64     `json:"throughput_rps"`
+	Latency      LoadLatency `json:"latency"`
+	CacheHits    int64       `json:"cache_hits"`
+	CacheMisses  int64       `json:"cache_misses"`
+	CacheHitRate float64     `json:"cache_hit_rate"`
+
+	Endpoints   []LoadEndpoint `json:"endpoints"`
+	PerScenario []LoadScenario `json:"per_scenario"`
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted latencies
+// by the nearest-rank method; 0 for an empty slice.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// latencyOf summarizes a latency sample set.
+func latencyOf(ns []int64) LoadLatency {
+	if len(ns) == 0 {
+		return LoadLatency{}
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return LoadLatency{
+		P50NS: percentile(sorted, 0.50),
+		P90NS: percentile(sorted, 0.90),
+		P99NS: percentile(sorted, 0.99),
+		MaxNS: sorted[len(sorted)-1],
+	}
+}
+
+// BuildLoadReport aggregates a run's samples into the versioned
+// emission. It is a pure function of its inputs (the harness measures
+// wall time and passes it in), so the same samples always aggregate to
+// the same report.
+func BuildLoadReport(command, target string, scenarios []string, clients int, wallNS int64, samples []LoadSample) LoadReport {
+	rep := LoadReport{
+		Schema:     LoadSchema,
+		Command:    command,
+		Target:     target,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    clients,
+		Scenarios:  append([]string(nil), scenarios...),
+		WallNS:     wallNS,
+	}
+	sort.Strings(rep.Scenarios)
+
+	all := make([]int64, 0, len(samples))
+	byEndpoint := make(map[string][]LoadSample)
+	byScenario := make(map[string][]LoadSample)
+	for _, s := range samples {
+		rep.Requests++
+		if s.Failed {
+			rep.Errors++
+		}
+		switch s.Cache {
+		case "hit":
+			rep.CacheHits++
+		case "miss":
+			rep.CacheMisses++
+		}
+		all = append(all, s.LatencyNS)
+		byEndpoint[s.Endpoint] = append(byEndpoint[s.Endpoint], s)
+		if s.Scenario != "" {
+			byScenario[s.Scenario] = append(byScenario[s.Scenario], s)
+		}
+	}
+	rep.Latency = latencyOf(all)
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	if counted := rep.CacheHits + rep.CacheMisses; counted > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(counted)
+	}
+	if wallNS > 0 {
+		rep.Throughput = float64(rep.Requests) / (float64(wallNS) / 1e9)
+	}
+
+	// Collect map keys into locals and sort before publishing
+	// (maporder: iteration order is randomized).
+	endpoints := make([]string, 0, len(byEndpoint))
+	for name := range byEndpoint {
+		endpoints = append(endpoints, name)
+	}
+	sort.Strings(endpoints)
+	for _, name := range endpoints {
+		ss := byEndpoint[name]
+		ep := LoadEndpoint{Endpoint: name}
+		ns := make([]int64, 0, len(ss))
+		for _, s := range ss {
+			ep.Requests++
+			if s.Failed {
+				ep.Errors++
+			}
+			ns = append(ns, s.LatencyNS)
+		}
+		ep.Latency = latencyOf(ns)
+		rep.Endpoints = append(rep.Endpoints, ep)
+	}
+	scenarioIDs := make([]string, 0, len(byScenario))
+	for id := range byScenario {
+		scenarioIDs = append(scenarioIDs, id)
+	}
+	sort.Strings(scenarioIDs)
+	for _, id := range scenarioIDs {
+		sc := LoadScenario{Scenario: id}
+		for _, s := range byScenario[id] {
+			sc.Requests++
+			if s.Failed {
+				sc.Errors++
+			}
+		}
+		rep.PerScenario = append(rep.PerScenario, sc)
+	}
+	return rep
+}
+
+// Validate checks the emission the way obs.BenchReport.Validate checks
+// bench reports: schema tag, shape invariants (counts reconcile across
+// breakdowns, rates in range, percentiles ordered), so a truncated or
+// hand-edited file fails loudly in CI.
+func (r LoadReport) Validate() error {
+	if r.Schema != LoadSchema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, LoadSchema)
+	}
+	if r.Clients < 1 {
+		return fmt.Errorf("clients %d, want >= 1", r.Clients)
+	}
+	if r.Requests < 1 {
+		return fmt.Errorf("requests %d, want >= 1", r.Requests)
+	}
+	if r.Errors < 0 || r.Errors > r.Requests {
+		return fmt.Errorf("errors %d outside [0, %d]", r.Errors, r.Requests)
+	}
+	if r.ErrorRate < 0 || r.ErrorRate > 1 {
+		return fmt.Errorf("error_rate %g outside [0, 1]", r.ErrorRate)
+	}
+	if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
+		return fmt.Errorf("cache_hit_rate %g outside [0, 1]", r.CacheHitRate)
+	}
+	if r.CacheHits+r.CacheMisses > r.Requests {
+		return fmt.Errorf("cache hits+misses %d exceed requests %d", r.CacheHits+r.CacheMisses, r.Requests)
+	}
+	if r.WallNS <= 0 {
+		return fmt.Errorf("wall_ns %d, want > 0", r.WallNS)
+	}
+	if r.Throughput <= 0 {
+		return fmt.Errorf("throughput_rps %g, want > 0", r.Throughput)
+	}
+	if err := r.Latency.validate("latency"); err != nil {
+		return err
+	}
+	if len(r.Endpoints) == 0 {
+		return fmt.Errorf("no endpoint breakdown")
+	}
+	var reqSum, errSum int64
+	for _, ep := range r.Endpoints {
+		if ep.Endpoint == "" {
+			return fmt.Errorf("endpoint with empty name")
+		}
+		if err := ep.Latency.validate("endpoint " + ep.Endpoint); err != nil {
+			return err
+		}
+		reqSum += ep.Requests
+		errSum += ep.Errors
+	}
+	if reqSum != r.Requests {
+		return fmt.Errorf("endpoint requests sum %d != total %d", reqSum, r.Requests)
+	}
+	if errSum != r.Errors {
+		return fmt.Errorf("endpoint errors sum %d != total %d", errSum, r.Errors)
+	}
+	return nil
+}
+
+func (l LoadLatency) validate(name string) error {
+	if l.P50NS < 0 || l.P50NS > l.P90NS || l.P90NS > l.P99NS || l.P99NS > l.MaxNS {
+		return fmt.Errorf("%s: percentiles not ordered: p50 %d, p90 %d, p99 %d, max %d",
+			name, l.P50NS, l.P90NS, l.P99NS, l.MaxNS)
+	}
+	return nil
+}
+
+// WriteFile validates the report and writes it as indented JSON.
+func (r LoadReport) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("load report invalid: %w", err)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadLoadReport reads and validates a routelab-load/v1 emission.
+func ReadLoadReport(path string) (LoadReport, error) {
+	var r LoadReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 50},
+		{0.90, 90},
+		{0.99, 100},
+		{1.00, 100},
+		{0.01, 10},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(q=%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %d, want 0", got)
+	}
+	if got := percentile([]int64{7}, 0.99); got != 7 {
+		t.Errorf("percentile(single) = %d, want 7", got)
+	}
+}
+
+// loadSamples fabricates a small mixed run: two scenarios, two endpoint
+// families, one failure, a hit/miss mix.
+func loadSamples() []LoadSample {
+	return []LoadSample{
+		{Scenario: "alpha", Endpoint: "classify", LatencyNS: 100, Status: 200, Cache: "miss"},
+		{Scenario: "alpha", Endpoint: "classify", LatencyNS: 50, Status: 200, Cache: "hit"},
+		{Scenario: "beta", Endpoint: "classify", LatencyNS: 200, Status: 200, Cache: "miss"},
+		{Scenario: "beta", Endpoint: "healthz", LatencyNS: 10, Status: 200},
+		{Scenario: "alpha", Endpoint: "healthz", LatencyNS: 1000, Status: 500, Failed: true},
+	}
+}
+
+func TestBuildLoadReport(t *testing.T) {
+	rep := BuildLoadReport("routeload -test", "http://x", []string{"beta", "alpha"}, 4, 2e9, loadSamples())
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("built report invalid: %v", err)
+	}
+	if rep.Requests != 5 || rep.Errors != 1 {
+		t.Errorf("requests/errors = %d/%d, want 5/1", rep.Requests, rep.Errors)
+	}
+	if rep.ErrorRate != 0.2 {
+		t.Errorf("error rate %g, want 0.2", rep.ErrorRate)
+	}
+	if rep.CacheHits != 1 || rep.CacheMisses != 2 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/2", rep.CacheHits, rep.CacheMisses)
+	}
+	if rep.Throughput != 2.5 {
+		t.Errorf("throughput %g req/s, want 2.5", rep.Throughput)
+	}
+	if rep.Latency.MaxNS != 1000 {
+		t.Errorf("max latency %d, want 1000", rep.Latency.MaxNS)
+	}
+	// Scenario list is sorted regardless of input order, and the
+	// breakdowns are published in sorted key order (maporder).
+	if rep.Scenarios[0] != "alpha" || rep.Scenarios[1] != "beta" {
+		t.Errorf("scenarios not sorted: %v", rep.Scenarios)
+	}
+	if len(rep.Endpoints) != 2 || rep.Endpoints[0].Endpoint != "classify" || rep.Endpoints[1].Endpoint != "healthz" {
+		t.Fatalf("endpoint breakdown wrong: %+v", rep.Endpoints)
+	}
+	if rep.Endpoints[0].Requests != 3 || rep.Endpoints[1].Errors != 1 {
+		t.Errorf("endpoint counts wrong: %+v", rep.Endpoints)
+	}
+	if len(rep.PerScenario) != 2 || rep.PerScenario[0].Scenario != "alpha" || rep.PerScenario[0].Requests != 3 {
+		t.Errorf("per-scenario breakdown wrong: %+v", rep.PerScenario)
+	}
+}
+
+func TestLoadReportValidateRejects(t *testing.T) {
+	good := func() LoadReport {
+		return BuildLoadReport("c", "t", []string{"a"}, 1, 1e9, loadSamples())
+	}
+	cases := []struct {
+		name   string
+		break_ func(*LoadReport)
+	}{
+		{"schema", func(r *LoadReport) { r.Schema = "routelab-load/v0" }},
+		{"clients", func(r *LoadReport) { r.Clients = 0 }},
+		{"requests", func(r *LoadReport) { r.Requests = 0 }},
+		{"errors", func(r *LoadReport) { r.Errors = r.Requests + 1 }},
+		{"error rate", func(r *LoadReport) { r.ErrorRate = 1.5 }},
+		{"cache rate", func(r *LoadReport) { r.CacheHitRate = -0.1 }},
+		{"cache counts", func(r *LoadReport) { r.CacheHits = r.Requests + 1 }},
+		{"wall", func(r *LoadReport) { r.WallNS = 0 }},
+		{"throughput", func(r *LoadReport) { r.Throughput = 0 }},
+		{"percentile order", func(r *LoadReport) { r.Latency.P50NS = r.Latency.MaxNS + 1 }},
+		{"no endpoints", func(r *LoadReport) { r.Endpoints = nil }},
+		{"endpoint name", func(r *LoadReport) { r.Endpoints[0].Endpoint = "" }},
+		{"request sum", func(r *LoadReport) { r.Endpoints[0].Requests++ }},
+		{"error sum", func(r *LoadReport) { r.Endpoints[0].Errors++ }},
+	}
+	for _, tc := range cases {
+		rep := good()
+		tc.break_(&rep)
+		if err := rep.Validate(); err == nil {
+			t.Errorf("%s: broken report accepted", tc.name)
+		}
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := BuildLoadReport("routeload -test", "http://x", []string{"alpha"}, 2, 3e9, loadSamples())
+	path := filepath.Join(t.TempDir(), "LOAD_routelab.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != LoadSchema || back.Requests != rep.Requests || back.Throughput != rep.Throughput {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+
+	// An invalid report must not be writable, and a truncated file must
+	// not be readable.
+	bad := rep
+	bad.Schema = "nope"
+	if err := bad.WriteFile(path); err == nil {
+		t.Error("invalid report written")
+	}
+	if _, err := ReadLoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file read")
+	}
+}
+
+func TestLoadReportValidateMessage(t *testing.T) {
+	rep := BuildLoadReport("c", "t", nil, 1, 1e9, loadSamples())
+	rep.Schema = "bogus"
+	err := rep.Validate()
+	if err == nil || !strings.Contains(err.Error(), LoadSchema) {
+		t.Errorf("schema error %v should name the expected schema", err)
+	}
+}

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"routelab/internal/bgp"
+	"routelab/internal/obs"
+)
+
+// forkPool keeps warm Computation.Fork copies of one frozen anycast
+// base so the alternates/what-if-shaped endpoints consume a pre-taken
+// fork instead of paying the O(#ASes) fork setup on the request path.
+// Forks are single-use — the discovery loop's poisoning rounds mutate
+// them — so a consumed fork is replaced asynchronously rather than
+// returned. A drained pool falls back to forking inline, which is
+// always correct (every fork of a frozen parent is equivalent), just
+// slower; the service.forkpool.{hits,misses} counters expose the ratio.
+type forkPool struct {
+	base *bgp.Computation // frozen; Fork is safe from any goroutine
+	ch   chan *bgp.Computation
+}
+
+// defaultForkPool is the per-prefix pool depth when Config.ForkPool is
+// unset: enough to ride out a small burst without holding many adj-in
+// overlays alive per prefix.
+const defaultForkPool = 2
+
+func newForkPool(base *bgp.Computation, size int) *forkPool {
+	if size <= 0 {
+		size = defaultForkPool
+	}
+	p := &forkPool{base: base, ch: make(chan *bgp.Computation, size)}
+	for i := 0; i < size; i++ {
+		p.ch <- base.Fork()
+	}
+	return p
+}
+
+// get returns a fresh, unshared fork of the pool's base and schedules a
+// replacement for the warm copy it consumed.
+func (p *forkPool) get() *bgp.Computation {
+	select {
+	case c := <-p.ch:
+		obs.Inc("service.forkpool.hits")
+		go p.refill()
+		return c
+	default:
+		obs.Inc("service.forkpool.misses")
+		return p.base.Fork()
+	}
+}
+
+// refill restocks one warm fork, dropping it if the pool filled back up
+// in the meantime (another refill won the race).
+func (p *forkPool) refill() {
+	select {
+	case p.ch <- p.base.Fork():
+	default:
+	}
+}

@@ -31,29 +31,62 @@ type Config struct {
 	// CacheSize bounds the LRU response cache (entries); <= 0 selects
 	// the default (256).
 	CacheSize int
+	// ForkPool sizes the warm fork pool kept per testbed prefix for the
+	// alternates/what-if-shaped endpoints: pre-taken Computation.Fork
+	// copies a request consumes instead of forking on the hot path.
+	// <= 0 selects the default (2).
+	ForkPool int
 }
 
 // Server answers queries over one sealed Scenario. Create with New;
 // serve via Handler. The zero value is not usable.
+//
+// A Server is also one tenant of the multi-scenario Fleet: the store
+// builds one per sealed scenario, hands every tenant a partition of
+// the shared response cache (keys carry the scenario id, so two
+// scenarios can never cross-serve cached bodies), and routes
+// /v1/scenarios/{id}/... requests to the tenant's handlers.
 type Server struct {
+	id       string // scenario id; prefixes every cache key
 	s        *scenario.Scenario
 	cfg      Config
 	gate     *parallel.Gate
 	cache    *cache
 	mux      *http.ServeMux
+	pools    map[asn.Prefix]*forkPool
 	traceIdx map[int]int // Measurement.TraceID -> index into s.Measurements
 	health   []byte      // static healthz body
 }
 
-// New assembles a Server over a built scenario.
+// New assembles a single-scenario Server (the legacy routelabd mode and
+// the shape every test drives): its own cache, scenario id "default".
 func New(s *scenario.Scenario, cfg Config) *Server {
+	return newTenant("default", s, cfg, nil)
+}
+
+// newTenant assembles one scenario tenant. shared, when non-nil, is the
+// fleet-wide response cache this tenant partitions by key prefix; nil
+// gives the tenant a private cache (single-scenario mode).
+func newTenant(id string, s *scenario.Scenario, cfg Config, shared *cache) *Server {
+	c := shared
+	if c == nil {
+		c = newCache(cfg.CacheSize)
+	}
 	srv := &Server{
+		id:       id,
 		s:        s,
 		cfg:      cfg,
 		gate:     parallel.NewGate(cfg.MaxConcurrent),
-		cache:    newCache(cfg.CacheSize),
+		cache:    c,
 		mux:      http.NewServeMux(),
+		pools:    make(map[asn.Prefix]*forkPool, len(s.Testbed.Prefixes)),
 		traceIdx: make(map[int]int, len(s.Measurements)),
+	}
+	// Warm the per-prefix anycast bases now (one convergence each, the
+	// cost the first alternates request would otherwise pay) and stock a
+	// pool of pre-taken forks over each.
+	for _, p := range s.Testbed.Prefixes {
+		srv.pools[p] = newForkPool(s.Testbed.AnycastBase(p), cfg.ForkPool)
 	}
 	for i := range s.Measurements {
 		srv.traceIdx[s.Measurements[i].TraceID] = i
@@ -77,25 +110,25 @@ func New(s *scenario.Scenario, cfg Config) *Server {
 	srv.health = health
 
 	srv.handle("GET /v1/healthz", "healthz", srv.serveHealthz)
-	srv.handle("GET /v1/metrics", "metrics", srv.serveMetrics)
+	srv.handle("GET /v1/metrics", "metrics", serveMetrics)
 	srv.handle("GET /v1/classify", "classify", srv.serveClassify)
 	srv.handle("GET /v1/alternates", "alternates", srv.serveAlternates)
 	srv.handle("GET /v1/experiments/{name}", "experiments", srv.serveExperiment)
 	srv.handle("GET /v1/as/{asn}", "as", srv.serveAS)
-	srv.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no such route: %s %s", r.Method, r.URL.Path))
-	})
+	srv.mux.HandleFunc("/", serveNotFound)
 	return srv
 }
 
 // Handler returns the service's http.Handler (the /v1 API).
 func (srv *Server) Handler() http.Handler { return srv.mux }
 
-// handle registers an endpoint under its obs instrumentation:
-// service.requests.<name> / service.errors.<name> counters and a
-// service/<name> latency timer.
-func (srv *Server) handle(pattern, name string, h http.HandlerFunc) {
-	srv.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+// instrument registers an endpoint on mux under its obs
+// instrumentation: service.requests.<name> / service.errors.<name>
+// counters and a service/<name> latency timer. Shared by the
+// single-scenario Server and the Fleet (endpoint families keep the
+// same counter names in both modes).
+func instrument(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		defer obs.StartStage("service/" + name)()
 		obs.Inc("service.requests." + name)
 		sw := &statusWriter{ResponseWriter: w}
@@ -104,6 +137,14 @@ func (srv *Server) handle(pattern, name string, h http.HandlerFunc) {
 			obs.Inc("service.errors." + name)
 		}
 	})
+}
+
+func (srv *Server) handle(pattern, name string, h http.HandlerFunc) {
+	instrument(srv.mux, pattern, name, h)
+}
+
+func serveNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, fmt.Sprintf("no such route: %s %s", r.Method, r.URL.Path))
 }
 
 type statusWriter struct {
@@ -124,10 +165,20 @@ func (srv *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc)
 	return context.WithTimeout(r.Context(), srv.cfg.RequestTimeout)
 }
 
+// CacheHeader is the response header reporting whether a computed body
+// came from the response cache ("hit") or was computed for this
+// request ("miss"). cmd/routeload reads it to measure fleet cache-hit
+// rates; bodies are byte-identical either way.
+const CacheHeader = "X-Routelab-Cache"
+
 // compute produces (and caches) a response body: admission through the
-// gate, duplicate suppression and LRU through the cache.
-func (srv *Server) compute(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) ([]byte, error) {
-	body, err := srv.cache.do(ctx, key, func() ([]byte, error) {
+// gate, duplicate suppression and LRU through the cache. The cache key
+// is namespaced by the scenario id — the fleet shares one cache across
+// tenants, and an id-free key would let two scenarios cross-serve each
+// other's bodies for the same endpoint+params (the PR 3 single-tenant
+// key shape; see TestNoCrossScenarioCacheServe).
+func (srv *Server) compute(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) ([]byte, bool, error) {
+	body, hit, err := srv.cache.do(ctx, srv.id+"|"+key, func() ([]byte, error) {
 		if err := srv.gate.Enter(ctx); err != nil {
 			return nil, err
 		}
@@ -135,7 +186,18 @@ func (srv *Server) compute(ctx context.Context, key string, fn func(ctx context.
 		return fn(ctx)
 	})
 	obs.SetGauge("service.cache.entries", float64(srv.cache.len()))
-	return body, err
+	if hit {
+		obs.Inc("service.cache.hits")
+	}
+	return body, hit, err
+}
+
+// cacheStatus renders the compute hit flag for CacheHeader.
+func cacheStatus(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 func marshalEnvelope(kind string, data any) ([]byte, error) {
@@ -193,8 +255,9 @@ func (srv *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // serveMetrics reports the obs snapshot. It is the one endpoint that
-// is NOT deterministic (metrics are history) and is never cached.
-func (srv *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+// is NOT deterministic (metrics are history) and is never cached. The
+// registry is process-global, so the Fleet serves the same handler.
+func serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	body, err := marshalEnvelope("metrics", MetricsData{Metrics: obs.Snap()})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -235,13 +298,14 @@ func (srv *Server) serveClassify(w http.ResponseWriter, r *http.Request) {
 		refKey = refs[0].String()
 	}
 	key := fmt.Sprintf("classify|%d|%s", trace, refKey)
-	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+	body, hit, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
 		return srv.classifyBody(ctx, idx, refs)
 	})
 	if err != nil {
 		writeComputeError(w, err)
 		return
 	}
+	w.Header().Set(CacheHeader, cacheStatus(hit))
 	writeBody(w, body)
 }
 
@@ -294,7 +358,7 @@ func (srv *Server) serveAlternates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "alternates|" + target.String()
-	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+	body, hit, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -304,14 +368,17 @@ func (srv *Server) serveAlternates(w http.ResponseWriter, r *http.Request) {
 		writeComputeError(w, err)
 		return
 	}
+	w.Header().Set(CacheHeader, cacheStatus(hit))
 	writeBody(w, body)
 }
 
 func (srv *Server) alternatesBody(target asn.ASN) ([]byte, error) {
 	prefix := srv.s.Testbed.Prefixes[0]
-	// DiscoverAlternates consumes no randomness; the run is a pure
-	// function of (engine, prefix, target).
-	res := srv.s.Testbed.DiscoverAlternates(prefix, target)
+	// Discovery consumes no randomness; the run is a pure function of
+	// (engine, prefix, target). The poisoning rounds mutate a fork of
+	// the frozen anycast base, taken from the warm pool so the Fork cost
+	// stays off the request path.
+	res := srv.s.Testbed.DiscoverAlternatesOn(srv.pools[prefix].get(), target)
 	data := AlternatesData{
 		Target:        res.Target.String(),
 		Prefix:        res.Prefix.String(),
@@ -357,7 +424,7 @@ func (srv *Server) serveExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("experiment|%s|%d|%s", name, seed, format)
-	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+	body, hit, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
 		res, err := exp.Run(ctx, &experiments.Env{S: srv.s, Seed: seed})
 		if err != nil {
 			return nil, err
@@ -371,6 +438,7 @@ func (srv *Server) serveExperiment(w http.ResponseWriter, r *http.Request) {
 		writeComputeError(w, err)
 		return
 	}
+	w.Header().Set(CacheHeader, cacheStatus(hit))
 	if format == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		write(w, body)
@@ -393,7 +461,7 @@ func (srv *Server) serveAS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "as|" + a.String()
-	body, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+	body, hit, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -403,6 +471,7 @@ func (srv *Server) serveAS(w http.ResponseWriter, r *http.Request) {
 		writeComputeError(w, err)
 		return
 	}
+	w.Header().Set(CacheHeader, cacheStatus(hit))
 	writeBody(w, body)
 }
 

@@ -1,0 +1,304 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"routelab/internal/obs"
+	"routelab/internal/parallel"
+	"routelab/internal/scenario"
+	"routelab/internal/spec"
+)
+
+// ErrUnknownScenario reports a fleet request for an id no spec was
+// registered under; the Fleet maps it to 404.
+var ErrUnknownScenario = errors.New("unknown scenario id")
+
+// StoreConfig sizes the scenario store.
+type StoreConfig struct {
+	// MaxScenarios bounds how many sealed (built) scenarios stay
+	// resident at once; the least-recently-served is evicted past the
+	// cap and rebuilt on demand. <= 0 selects the default (4).
+	MaxScenarios int
+	// MaxBuilds bounds concurrent scenario builds. Builds are the
+	// expensive multi-core phase, so the default (1) serializes them;
+	// requests for distinct cold scenarios queue.
+	MaxBuilds int
+	// CacheSize bounds the fleet-wide response cache (entries) shared by
+	// every tenant; <= 0 selects the default (256). Keys are namespaced
+	// by scenario id, and a tenant's partition is purged on eviction.
+	CacheSize int
+	// Tenant configures each per-scenario Server (admission gate,
+	// request deadline, fork pools). Tenant.CacheSize is ignored — the
+	// shared cache above is used instead.
+	Tenant Config
+	// Logf receives scenario build progress; nil silences it.
+	Logf scenario.Logf
+}
+
+// Store is the multi-tenant scenario registry behind the Fleet: specs
+// are registered up front (cheap — compile and validate only), sealed
+// scenarios are built on first use, kept in an LRU, and rebuilt
+// deterministically after eviction. Concurrent requests for the same
+// cold id coalesce into a single build (obs: service.scenario.builds
+// counts real builds, .hits serves from the LRU, .evictions drops).
+type Store struct {
+	cfg       StoreConfig
+	buildGate *parallel.Gate
+	cache     *cache // shared across tenants, keys namespaced by id
+
+	mu       sync.Mutex
+	sources  map[string]*source
+	order    *list.List               // built ids, front = most recently served
+	builtIdx map[string]*list.Element // id -> element; value *builtEntry
+	building map[string]*buildCall
+}
+
+// source is one registered spec: identity plus the compiled, validated
+// Config it builds from.
+type source struct {
+	info ScenarioInfo // Built is filled in at read time
+	cfg  scenario.Config
+}
+
+type builtEntry struct {
+	id     string
+	tenant *Server
+}
+
+type buildCall struct {
+	done   chan struct{}
+	tenant *Server
+	err    error
+}
+
+// NewStore assembles an empty store; register scenarios with Register
+// or RegisterDir.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.MaxScenarios <= 0 {
+		cfg.MaxScenarios = 4
+	}
+	if cfg.MaxBuilds <= 0 {
+		cfg.MaxBuilds = 1
+	}
+	return &Store{
+		cfg:       cfg,
+		buildGate: parallel.NewGate(cfg.MaxBuilds),
+		cache:     newCache(cfg.CacheSize),
+		sources:   make(map[string]*source),
+		order:     list.New(),
+		builtIdx:  make(map[string]*list.Element),
+		building:  make(map[string]*buildCall),
+	}
+}
+
+// Register admits one compiled spec expansion under its spec name.
+// Registration is cheap — the sealed scenario is built on first use.
+// A duplicate id is an error: two different worlds under one id would
+// make /v1/scenarios/{id} responses depend on registration order.
+func (st *Store) Register(exp *spec.Expansion, origin string) error {
+	if exp.Name == "" {
+		return fmt.Errorf("service: scenario spec has no name")
+	}
+	src := &source{
+		info: ScenarioInfo{
+			ID:          exp.Name,
+			Description: exp.Description,
+			Profile:     exp.Profile,
+			Overlays:    exp.Overlays,
+			Origin:      origin,
+			Seed:        exp.Config.Seed,
+			Scale:       exp.Config.Topology.Scale,
+		},
+		cfg: exp.Config,
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sources[exp.Name]; ok {
+		return fmt.Errorf("service: scenario %q already registered", exp.Name)
+	}
+	st.sources[exp.Name] = src
+	return nil
+}
+
+// RegisterDir registers every spec document (*.yaml, *.yml, *.json) at
+// the top level of dir — the -scenario-dir boot path. Subdirectories
+// (e.g. a goldens directory next to a corpus) are ignored. Returns how
+// many scenarios were registered.
+func (st *Store) RegisterDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".yaml", ".yml", ".json":
+		default:
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		exp, err := spec.Expand(path, nil)
+		if err != nil {
+			return n, fmt.Errorf("service: %s: %w", path, err)
+		}
+		if err := st.Register(exp, filepath.ToSlash(path)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("service: no scenario specs found in %s", dir)
+	}
+	return n, nil
+}
+
+// IDs returns every registered scenario id, sorted.
+func (st *Store) IDs() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]string, 0, len(st.sources))
+	for id := range st.sources {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Infos returns every registered scenario's info, sorted by id, with
+// the Built flag reflecting LRU residency at call time.
+func (st *Store) Infos() []ScenarioInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	infos := make([]ScenarioInfo, 0, len(st.sources))
+	for id, src := range st.sources {
+		info := src.info
+		_, info.Built = st.builtIdx[id]
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// Info returns one scenario's info.
+func (st *Store) Info(id string) (ScenarioInfo, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	src, ok := st.sources[id]
+	if !ok {
+		return ScenarioInfo{}, fmt.Errorf("%w: %q", ErrUnknownScenario, id)
+	}
+	info := src.info
+	_, info.Built = st.builtIdx[id]
+	return info, nil
+}
+
+// BuiltLen reports how many sealed scenarios are resident.
+func (st *Store) BuiltLen() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.order.Len()
+}
+
+// Get returns the tenant serving id, building the sealed scenario on
+// demand. Concurrent calls for the same cold id share one build
+// (singleflight); calls for a resident id are LRU hits. The ctx bounds
+// this caller's wait — in the build-gate queue or on another caller's
+// build — not the build itself, which always runs to completion so the
+// result is kept for the next request.
+func (st *Store) Get(ctx context.Context, id string) (*Server, error) {
+	for {
+		st.mu.Lock()
+		src, ok := st.sources[id]
+		if !ok {
+			st.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownScenario, id)
+		}
+		if el, ok := st.builtIdx[id]; ok {
+			st.order.MoveToFront(el)
+			tenant := el.Value.(*builtEntry).tenant
+			st.mu.Unlock()
+			obs.Inc("service.scenario.hits")
+			return tenant, nil
+		}
+		if bc, ok := st.building[id]; ok {
+			st.mu.Unlock()
+			select {
+			case <-bc.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if bc.err == nil {
+				return bc.tenant, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// The build died on ITS caller's context; ours is live, so
+			// retry — the same recovery the response cache uses.
+			if bc.err != context.Canceled && bc.err != context.DeadlineExceeded {
+				return nil, bc.err
+			}
+			continue
+		}
+		bc := &buildCall{done: make(chan struct{})}
+		st.building[id] = bc
+		st.mu.Unlock()
+
+		bc.tenant, bc.err = st.build(ctx, id, src)
+		st.mu.Lock()
+		delete(st.building, id)
+		if bc.err == nil {
+			st.insert(id, bc.tenant)
+		}
+		st.mu.Unlock()
+		close(bc.done)
+		return bc.tenant, bc.err
+	}
+}
+
+// build seals one scenario and wraps it in a tenant. The build gate
+// bounds how many run at once; the requester's ctx only governs its
+// place in the queue (scenario.Build is not cancelable, and a finished
+// build is always worth keeping).
+func (st *Store) build(ctx context.Context, id string, src *source) (*Server, error) {
+	if err := st.buildGate.Enter(ctx); err != nil {
+		return nil, err
+	}
+	defer st.buildGate.Leave()
+	defer obs.StartStage("service/scenario-build")()
+	obs.Inc("service.scenario.builds")
+	s, err := scenario.Build(src.cfg, st.cfg.Logf)
+	if err != nil {
+		return nil, fmt.Errorf("service: build scenario %q: %w", id, err)
+	}
+	return newTenant(id, s, st.cfg.Tenant, st.cache), nil
+}
+
+// insert records a freshly-built tenant and evicts past the cap.
+// Caller holds st.mu.
+func (st *Store) insert(id string, tenant *Server) {
+	st.builtIdx[id] = st.order.PushFront(&builtEntry{id: id, tenant: tenant})
+	for st.order.Len() > st.cfg.MaxScenarios {
+		el := st.order.Back()
+		st.order.Remove(el)
+		evicted := el.Value.(*builtEntry)
+		delete(st.builtIdx, evicted.id)
+		// Purge the evicted tenant's cache partition: responses are
+		// deterministic, so dropping them only costs recomputation, and
+		// keeping them would hold the evicted world's bodies in memory.
+		st.cache.removePrefix(evicted.id + "|")
+		obs.Inc("service.scenario.evictions")
+	}
+	obs.SetGauge("service.scenario.built", float64(st.order.Len()))
+}

@@ -35,6 +35,12 @@ func Expand(path string, overlays []string) (*Expansion, error) {
 	return expand(s)
 }
 
+// Expansion compiles an already-loaded spec into its versioned
+// envelope — the path routelabd's POST /v1/scenarios admission uses,
+// where the document arrives as request bytes (via Parse) rather than
+// a corpus file.
+func (s *Spec) Expansion() (*Expansion, error) { return expand(s) }
+
 func expand(s *Spec) (*Expansion, error) {
 	cfg, err := s.Compile()
 	if err != nil {

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end smoke test of the multi-scenario fleet and
+# the load harness.
+#
+# Boots routelabd in fleet mode on the checked-in corpus
+# (-scenario-dir scenarios; registration is cheap, builds are lazy),
+# admits one extra scenario over POST /v1/scenarios, drives the two tiny
+# worlds (smoke, smoke-alt) with cmd/routeload on a small request
+# budget, and gates the routelab-load/v1 emission with cmd/loadcheck:
+# zero errors allowed, and a deliberately lax p99 tripwire (this is a
+# blowup detector, not a latency SLO — CI machines vary). Finishes with
+# a SIGTERM drain check. CI's load-smoke job runs this; locally:
+# make load-smoke.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${ROUTELABD_ADDR:-localhost:18090}"
+OUT="${LOAD_OUT:-LOAD_routelab.json}"
+WORKDIR="$(mktemp -d)"
+LOG="$WORKDIR/routelabd.log"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+echo "==> building"
+go build -o "$WORKDIR/routelabd" ./cmd/routelabd
+go build -o "$WORKDIR/routeload" ./cmd/routeload
+go build -o "$WORKDIR/loadcheck" ./cmd/loadcheck
+
+echo "==> starting routelabd fleet on $ADDR (-scenario-dir scenarios)"
+"$WORKDIR/routelabd" -addr "$ADDR" -scenario-dir scenarios -quiet \
+    -max-scenarios 4 -request-timeout 120s 2>"$LOG" &
+PID=$!
+
+for i in $(seq 1 60); do
+    if grep -q "serving routelab-api/v1" "$LOG" 2>/dev/null; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "routelabd died during startup:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+grep -q "serving routelab-api/v1" "$LOG" || {
+    echo "routelabd never started listening:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "==> fleet lists the corpus"
+curl -sS "http://$ADDR/v1/scenarios" >"$WORKDIR/scenarios.json"
+for id in smoke smoke-alt paper; do
+    grep -q "\"$id\"" "$WORKDIR/scenarios.json" || {
+        echo "FAIL: corpus scenario $id not registered" >&2
+        cat "$WORKDIR/scenarios.json" >&2
+        exit 1
+    }
+done
+
+echo "==> admitting a scenario over POST /v1/scenarios"
+STATUS=$(curl -sS -o "$WORKDIR/admit.json" -w '%{http_code}' \
+    -X POST --data-binary @- "http://$ADDR/v1/scenarios" <<'EOF'
+spec: routelab-spec/v1
+name: admitted-smoke
+description: Admitted over the API by load_smoke.sh
+profile: tiny
+seed: 2017
+EOF
+)
+if [ "$STATUS" != 201 ]; then
+    echo "FAIL: admission -> $STATUS (want 201)" >&2
+    cat "$WORKDIR/admit.json" >&2
+    exit 1
+fi
+STATUS=$(curl -sS -o /dev/null -w '%{http_code}' \
+    "http://$ADDR/v1/scenarios/admitted-smoke/healthz")
+if [ "$STATUS" != 200 ]; then
+    echo "FAIL: admitted scenario healthz -> $STATUS" >&2
+    exit 1
+fi
+
+echo "==> driving the tiny fleet with routeload"
+"$WORKDIR/routeload" -addr "$ADDR" -scenarios smoke,smoke-alt \
+    -clients 8 -requests 160 -out "$OUT"
+
+echo "==> gating the emission with loadcheck"
+"$WORKDIR/loadcheck" -max-error-rate 0 -max-p99 30s "$OUT"
+
+echo "==> SIGTERM: graceful drain"
+kill -TERM "$PID"
+wait "$PID" && rc=0 || rc=$?
+if [ "$rc" != 0 ]; then
+    echo "FAIL: routelabd exited $rc after SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q "drained, bye" "$LOG" || {
+    echo "FAIL: no drain confirmation in log" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "load smoke: OK ($OUT)"
