@@ -41,6 +41,7 @@ import (
 	"routelab/internal/scenario"
 	"routelab/internal/service"
 	"routelab/internal/topology"
+	"routelab/internal/whatif"
 	"routelab/internal/wire"
 )
 
@@ -328,6 +329,67 @@ func BenchmarkForkReconverge(b *testing.B) {
 		c.Announce(bgp.Announcement{Origin: peeringAS, Poisoned: []asn.ASN{mux}})
 		c.Converge()
 	}
+}
+
+// BenchmarkWhatIfDelta measures one what-if evaluation the engine's way:
+// fork the shared frozen converged base, apply a compiled delta (an
+// in-use origin uplink failing), re-converge incrementally, and diff —
+// the unit of work behind every POST /v1/whatif entry.
+func BenchmarkWhatIfDelta(b *testing.B) {
+	base, cd, _, _ := whatIfBenchFixture(b)
+	b.ResetTimer()
+	defer measured(b)()
+	for i := 0; i < b.N; i++ {
+		if _, err := whatif.Eval(base, cd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhatIfRebuild evaluates the same delta the pre-fork way: a
+// from-scratch computation per iteration (announce + full convergence)
+// mutated and diffed against the same frozen base. The ratio to
+// BenchmarkWhatIfDelta is the incremental-engine speedup cmd/benchcheck
+// gates with -min-whatif-speedup.
+func BenchmarkWhatIfRebuild(b *testing.B) {
+	base, cd, engine, origin := whatIfBenchFixture(b)
+	p := base.Prefix()
+	b.ResetTimer()
+	defer measured(b)()
+	for i := 0; i < b.N; i++ {
+		c := engine.NewComputation(p)
+		c.Announce(bgp.Announcement{Origin: origin})
+		c.Converge()
+		if _, err := whatif.EvalOn(c, base, cd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// whatIfBenchFixture builds the shared what-if benchmark world: the
+// test topology's peering origin announcing its prefix, converged and
+// frozen, plus a compiled link-failure delta on the origin's mux-0
+// uplink (a link carrying live best routes, so the reconvergence does
+// real work).
+func whatIfBenchFixture(b *testing.B) (*bgp.Computation, *whatif.Compiled, *bgp.Engine, asn.ASN) {
+	b.Helper()
+	topo := topology.Generate(1, topology.TestConfig())
+	engine := bgp.New(topo, 1)
+	origin := topo.Names["peering"]
+	mux := topo.Names["mux-0"]
+	cd, err := whatif.Compile(whatif.Delta{
+		Kind: whatif.LinkFailure,
+		A:    origin.String(),
+		B:    mux.String(),
+	}, topo, origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := engine.NewComputation(topo.AS(origin).Prefixes[0])
+	base.Announce(bgp.Announcement{Origin: origin})
+	base.Converge()
+	base.Freeze()
+	return base, cd, engine, origin
 }
 
 // BenchmarkWireUpdateRoundTrip measures RFC 4271 UPDATE encode+decode.

@@ -3,6 +3,12 @@
 // stdin with no arguments), check the schema tag, the kind, and the
 // payload, and exit non-zero with a message on the first violation.
 //
+// A document tagged routelab-whatif/v1 is checked as a what-if REQUEST
+// instead (the delta-XOR-deltas contract, known kinds, the batch cap),
+// so CI can lint both directions of the POST /v1/whatif exchange. A
+// response envelope of kind "whatif" additionally has its payload's
+// internal consistency verified (result counts, diff arithmetic).
+//
 // Usage:
 //
 //	apicheck [file...]
@@ -12,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -20,11 +27,48 @@ import (
 )
 
 func check(name string, r io.Reader) error {
-	e, err := service.ReadEnvelope(r)
+	raw, err := io.ReadAll(r)
 	if err != nil {
 		return fmt.Errorf("%s: %v", name, err)
 	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if probe.Schema == service.WhatIfSchema {
+		return checkWhatIfRequest(name, raw)
+	}
+	var e service.Envelope
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if e.Kind == "whatif" {
+		var data service.WhatIfData
+		if err := json.Unmarshal(e.Data, &data); err != nil {
+			return fmt.Errorf("%s: whatif data: %v", name, err)
+		}
+		if err := data.Validate(); err != nil {
+			return fmt.Errorf("%s: whatif data: %v", name, err)
+		}
+	}
 	fmt.Printf("%s: ok (%s, kind %s, %d data bytes)\n", name, e.Schema, e.Kind, len(e.Data))
+	return nil
+}
+
+func checkWhatIfRequest(name string, raw []byte) error {
+	var req service.WhatIfRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	fmt.Printf("%s: ok (%s request, %d deltas)\n", name, service.WhatIfSchema, len(req.All()))
 	return nil
 }
 

@@ -44,14 +44,26 @@ var convergenceSet = []string{
 	"BenchmarkPoisonReconverge",
 	"BenchmarkForkReconverge",
 	"BenchmarkAlternateRoutes",
+	"BenchmarkWhatIfDelta",
+	"BenchmarkWhatIfRebuild",
 }
+
+// whatIfDelta/whatIfRebuild are the benchmark pair whose ns/op ratio is
+// the incremental what-if engine's speedup over a from-scratch rebuild.
+// Unlike the cross-machine baseline comparison, the ratio comes from ONE
+// emission (same machine, same run), so it gates tightly.
+const (
+	whatIfDelta   = "BenchmarkWhatIfDelta"
+	whatIfRebuild = "BenchmarkWhatIfRebuild"
+)
 
 func main() {
 	baseline := flag.String("baseline", "", "committed BENCH emission to compare the fresh one against")
 	maxRegress := flag.Float64("max-regress", 15, "allowed allocs/op regression, in percent")
 	maxNsRegress := flag.Float64("max-ns-regress", 400, "allowed ns/op regression, in percent (lax: one-iteration cross-machine timings only catch blowups)")
+	minWhatIfSpeedup := flag.Float64("min-whatif-speedup", 2.0, "required BenchmarkWhatIfRebuild/BenchmarkWhatIfDelta ns/op ratio (0 disables; same-run, so gated tightly)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file] [-max-regress pct] [-max-ns-regress pct] [path to BENCH_routelab.json]")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file] [-max-regress pct] [-max-ns-regress pct] [-min-whatif-speedup ratio] [path to BENCH_routelab.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,6 +95,10 @@ func main() {
 	fmt.Printf("%d benchmarks, %d counters, %d stage timers\n",
 		len(rep.Benchmarks), len(rep.Metrics.Counters), len(rep.Metrics.Stages))
 
+	if !checkWhatIfSpeedup(rep, *minWhatIfSpeedup) {
+		os.Exit(1)
+	}
+
 	if *baseline == "" {
 		return
 	}
@@ -94,6 +110,45 @@ func main() {
 	if !compare(rep, base, *maxRegress, *maxNsRegress) {
 		os.Exit(1)
 	}
+}
+
+// checkWhatIfSpeedup gates the what-if pair's within-emission speedup:
+// the incremental delta evaluation must beat the from-scratch rebuild
+// by at least min. An emission carrying only one of the pair fails (the
+// gate cannot be dodged by dropping a benchmark); one carrying neither
+// passes (partial sweeps, e.g. -bench filters, stay usable).
+func checkWhatIfSpeedup(rep obs.BenchReport, min float64) bool {
+	if min <= 0 {
+		return true
+	}
+	var delta, rebuild *obs.BenchResult
+	for i, b := range rep.Benchmarks {
+		switch b.Name {
+		case whatIfDelta:
+			delta = &rep.Benchmarks[i]
+		case whatIfRebuild:
+			rebuild = &rep.Benchmarks[i]
+		}
+	}
+	switch {
+	case delta == nil && rebuild == nil:
+		return true
+	case delta == nil || rebuild == nil:
+		fmt.Fprintf(os.Stderr, "whatif speedup: emission has only one of %s/%s\n", whatIfDelta, whatIfRebuild)
+		return false
+	case delta.NsPerOp <= 0:
+		fmt.Fprintf(os.Stderr, "whatif speedup: %s ns/op %.0f is not positive\n", whatIfDelta, delta.NsPerOp)
+		return false
+	}
+	ratio := rebuild.NsPerOp / delta.NsPerOp
+	if ratio < min {
+		fmt.Fprintf(os.Stderr, "whatif speedup: %.2fx (rebuild %.0f / delta %.0f ns/op) BELOW the %.1fx floor\n",
+			ratio, rebuild.NsPerOp, delta.NsPerOp, min)
+		return false
+	}
+	fmt.Printf("whatif speedup: %.1fx (rebuild %.0f / delta %.0f ns/op, floor %.1fx)\n",
+		ratio, rebuild.NsPerOp, delta.NsPerOp, min)
+	return true
 }
 
 // compare checks the convergence set of fresh against base and reports

@@ -120,11 +120,13 @@ func splitIDs(s string) []string {
 }
 
 // target is one schedulable request: which scenario it counts against
-// and which endpoint family it exercises.
+// and which endpoint family it exercises. A non-empty body makes the
+// request a POST (the what-if leg); method defaults to GET.
 type target struct {
 	scenario string
 	endpoint string
 	url      string
+	body     string
 }
 
 // discoverScenarios asks the fleet for its registered ids.
@@ -190,12 +192,18 @@ func warmup(client *http.Client, base, id string) ([]target, error) {
 		return nil, fmt.Errorf("no usable trace found in ids 0..199")
 	}
 	as := strings.TrimPrefix(classify.Decisions[0].At, "AS")
+	// The what-if leg poisons the discovered AS: a POST body that is
+	// valid on any scenario (the AS is live in this world by
+	// construction) and deterministic per scenario.
+	whatifDoc := fmt.Sprintf(`{"schema":%q,"deltas":[{"kind":"poison","poisoned":["AS%s"]},{"kind":"prepend","prepend":3},{"kind":"withdraw"}]}`,
+		service.WhatIfSchema, as)
 	return []target{
-		{id, "healthz", prefix + "/healthz"},
-		{id, "classify", classifyURL},
-		{id, "as", prefix + "/as/" + as},
-		{id, "alternates", prefix + "/alternates?target=" + as},
-		{id, "experiments", prefix + "/experiments/table1"},
+		{scenario: id, endpoint: "healthz", url: prefix + "/healthz"},
+		{scenario: id, endpoint: "classify", url: classifyURL},
+		{scenario: id, endpoint: "as", url: prefix + "/as/" + as},
+		{scenario: id, endpoint: "alternates", url: prefix + "/alternates?target=" + as},
+		{scenario: id, endpoint: "experiments", url: prefix + "/experiments/table1"},
+		{scenario: id, endpoint: "whatif", url: prefix + "/whatif", body: whatifDoc},
 	}, nil
 }
 
@@ -209,14 +217,25 @@ func unmarshalData(env service.Envelope, kind string, v any) error {
 // fetch issues one GET and validates the envelope; returns the status
 // and the cache header.
 func fetch(client *http.Client, url string) (status int, cacheHdr string, err error) {
-	resp, err := client.Get(url)
+	return do(client, target{url: url})
+}
+
+// do issues one scheduled request — GET, or POST when the target
+// carries a body — and validates the response envelope.
+func do(client *http.Client, t target) (status int, cacheHdr string, err error) {
+	var resp *http.Response
+	if t.body != "" {
+		resp, err = client.Post(t.url, "application/json", strings.NewReader(t.body))
+	} else {
+		resp, err = client.Get(t.url)
+	}
 	if err != nil {
 		return 0, "", err
 	}
 	defer resp.Body.Close()
 	cacheHdr = resp.Header.Get(service.CacheHeader)
 	if _, err := service.ReadEnvelope(resp.Body); err != nil {
-		return resp.StatusCode, cacheHdr, fmt.Errorf("%s: %w", url, err)
+		return resp.StatusCode, cacheHdr, fmt.Errorf("%s: %w", t.url, err)
 	}
 	return resp.StatusCode, cacheHdr, nil
 }
@@ -241,7 +260,7 @@ func run(client *http.Client, urls []target, ids []string, clients, requests int
 			for j := range jobs {
 				t := urls[j%len(urls)]
 				reqStart := time.Now()
-				status, cacheHdr, err := fetch(client, t.url)
+				status, cacheHdr, err := do(client, t)
 				samples[j] = service.LoadSample{
 					Scenario:  t.scenario,
 					Endpoint:  t.endpoint,

@@ -1,0 +1,262 @@
+package bgp
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+
+	"routelab/internal/asn"
+	"routelab/internal/topology"
+)
+
+// overlay holds a computation's what-if mutations of the sealed graph:
+// links taken down, peerings added, and per-adjacency LocalPref
+// overrides. Ordinary computations carry a nil overlay and pay nothing;
+// the what-if engine (internal/whatif) creates one on the fork it
+// mutates. Forks deep-clone the overlay, so a frozen what-if base can
+// itself be forked further.
+type overlay struct {
+	// failed marks links that are down in this computation: process
+	// advertises nothing across them and FailLink withdraws whatever was
+	// installed when the failure was applied.
+	failed map[topology.LinkKey]bool
+	// links registers the added peerings by canonical key, so FailLink
+	// can target them and AddPeering rejects duplicates.
+	links map[topology.LinkKey]*topology.Link
+	// extra[i] appends what-if adjacencies to AS i's base neighbor list.
+	// The adj-RIB-in slot of extra[i][k] is len(e.nbrs[i]) + k; rows are
+	// widened lazily by deliver on first write past the inherited width.
+	extra map[int32][]extraNbr
+	// lp overrides the local preference AS key[0] assigns to routes
+	// learned from neighbor key[1], bypassing the policy computation.
+	lp map[[2]asn.ASN]int
+}
+
+// extraNbr is one side of an added peering, carrying the same
+// precomputed delivery slots the engine's dense indexes provide for
+// base adjacencies.
+type extraNbr struct {
+	n        topology.Neighbor
+	peerIdx  int32 // dense index of n.ASN
+	backSlot int32 // slot of the owning AS inside n.ASN's row
+}
+
+// clone deep-copies the overlay (nil stays nil) for Fork.
+func (ov *overlay) clone() *overlay {
+	if ov == nil {
+		return nil
+	}
+	cp := &overlay{
+		failed: maps.Clone(ov.failed),
+		links:  maps.Clone(ov.links),
+		lp:     maps.Clone(ov.lp),
+		extra:  make(map[int32][]extraNbr, len(ov.extra)),
+	}
+	for i, xs := range ov.extra {
+		cp.extra[i] = slices.Clone(xs)
+	}
+	return cp
+}
+
+func (c *Computation) ensureOverlay() *overlay {
+	if c.ov == nil {
+		c.ov = &overlay{
+			failed: make(map[topology.LinkKey]bool),
+			links:  make(map[topology.LinkKey]*topology.Link),
+			extra:  make(map[int32][]extraNbr),
+			lp:     make(map[[2]asn.ASN]int),
+		}
+	}
+	return c.ov
+}
+
+// rowLen is AS i's full adj-RIB-in width: base neighbors plus any
+// what-if peerings added to this computation.
+func (c *Computation) rowLen(i int32) int {
+	n := len(c.e.nbrs[i])
+	if c.ov != nil {
+		n += len(c.ov.extra[i])
+	}
+	return n
+}
+
+// slotOf returns the adj-RIB-in slot of neighbor j inside AS i's row,
+// searching base adjacencies first, then what-if peerings.
+func (c *Computation) slotOf(i, j int32) (int32, bool) {
+	b := c.e.asns[j]
+	for s, n := range c.e.nbrs[i] {
+		if n.ASN == b {
+			return int32(s), true
+		}
+	}
+	if c.ov != nil {
+		for k, ex := range c.ov.extra[i] {
+			if ex.peerIdx == j {
+				return int32(len(c.e.nbrs[i]) + k), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// FailLink takes the adjacency between a and b down for this
+// computation only: the routes currently installed across it are
+// withdrawn immediately and process never advertises over it again.
+// Call Converge to settle the reroute. Works on base topology links and
+// on peerings previously added with AddPeering; failing an
+// already-failed link is a no-op.
+func (c *Computation) FailLink(a, b asn.ASN) error {
+	if c.frozen.Load() {
+		panic("bgp: FailLink on a frozen Computation (it has live forks; mutate a Fork instead)")
+	}
+	i, iok := c.idx(a)
+	j, jok := c.idx(b)
+	if !iok || !jok {
+		return fmt.Errorf("bgp: FailLink(%s, %s): no such AS", a, b)
+	}
+	key := topology.MakeLinkKey(a, b)
+	if c.e.topo.Link(a, b) == nil && (c.ov == nil || c.ov.links[key] == nil) {
+		return fmt.Errorf("bgp: FailLink(%s, %s): not adjacent", a, b)
+	}
+	ov := c.ensureOverlay()
+	if ov.failed[key] {
+		return nil
+	}
+	ov.failed[key] = true
+	c.dropAcross(i, j)
+	c.dropAcross(j, i)
+	return nil
+}
+
+// dropAcross withdraws the route AS i currently holds from neighbor j.
+func (c *Computation) dropAcross(i, j int32) {
+	s, ok := c.slotOf(i, j)
+	if !ok {
+		return
+	}
+	if c.deliver(i, s, nil) {
+		c.nChanges++
+		c.enqueue(i)
+	}
+}
+
+// AddPeering attaches a candidate link to this computation only: both
+// endpoints gain an extra adjacency and are forced to re-advertise, so
+// the next Converge settles routing as if the peering had always
+// existed. The sealed topology is never touched — build the candidate
+// with topology.ProposeLink, which validates the endpoints against the
+// sealed graph and canonicalizes the link.
+func (c *Computation) AddPeering(l *topology.Link) error {
+	if c.frozen.Load() {
+		panic("bgp: AddPeering on a frozen Computation (it has live forks; mutate a Fork instead)")
+	}
+	if l == nil || l.Lo == l.Hi {
+		return fmt.Errorf("bgp: AddPeering: bad candidate link")
+	}
+	i, iok := c.idx(l.Lo)
+	j, jok := c.idx(l.Hi)
+	if !iok || !jok {
+		return fmt.Errorf("bgp: AddPeering(%s, %s): no such AS", l.Lo, l.Hi)
+	}
+	if c.e.topo.Link(l.Lo, l.Hi) != nil {
+		return fmt.Errorf("bgp: AddPeering(%s, %s): already adjacent in the topology", l.Lo, l.Hi)
+	}
+	ov := c.ensureOverlay()
+	if ov.links[l.Key()] != nil {
+		return fmt.Errorf("bgp: AddPeering(%s, %s): already added", l.Lo, l.Hi)
+	}
+	ov.links[l.Key()] = l
+	// Each side records where its advertisements land on the other: the
+	// next free slot past the peer's current full width.
+	slotOnLo := int32(len(c.e.nbrs[i]) + len(ov.extra[i]))
+	slotOnHi := int32(len(c.e.nbrs[j]) + len(ov.extra[j]))
+	ov.extra[i] = append(ov.extra[i], extraNbr{
+		n:        topology.Neighbor{ASN: l.Hi, Role: l.HiRole, Link: l},
+		peerIdx:  j,
+		backSlot: slotOnHi,
+	})
+	ov.extra[j] = append(ov.extra[j], extraNbr{
+		n:        topology.Neighbor{ASN: l.Lo, Role: l.HiRole.Invert(), Link: l},
+		peerIdx:  i,
+		backSlot: slotOnLo,
+	})
+	c.force[i] = true
+	c.enqueue(i)
+	c.force[j] = true
+	c.enqueue(j)
+	return nil
+}
+
+// SetLocalPref overrides the local preference AS at assigns to routes
+// learned from neighbor from, for this computation only. The neighbor
+// is forced to re-advertise, so the installed route is repriced through
+// the normal delivery path and the next Converge settles any resulting
+// best-path moves.
+func (c *Computation) SetLocalPref(at, from asn.ASN, pref int) error {
+	if c.frozen.Load() {
+		panic("bgp: SetLocalPref on a frozen Computation (it has live forks; mutate a Fork instead)")
+	}
+	i, iok := c.idx(at)
+	j, jok := c.idx(from)
+	if !iok || !jok {
+		return fmt.Errorf("bgp: SetLocalPref(%s, %s): no such AS", at, from)
+	}
+	if _, adj := c.slotOf(i, j); !adj {
+		return fmt.Errorf("bgp: SetLocalPref(%s, %s): not adjacent", at, from)
+	}
+	c.ensureOverlay().lp[[2]asn.ASN{at, from}] = pref
+	c.force[j] = true
+	c.enqueue(j)
+	return nil
+}
+
+// Counters reports the computation's cumulative process-event and
+// best-route-change counts. Snapshotting them around an apply+Converge
+// gives the reconvergence churn a what-if delta cost.
+func (c *Computation) Counters() (events, changes int) {
+	return c.nProcessed, c.nChanges
+}
+
+// BestChange records one AS whose installed best route differs between
+// two computations of the same prefix.
+type BestChange struct {
+	AS asn.ASN
+	// Before and After are public route copies; nil means no route on
+	// that side.
+	Before, After *Route
+}
+
+// BestDiff compares c's installed best routes against base and returns
+// every AS whose routing decision differs, in ascending ASN order. Age
+// is ignored — the diff reports decision changes, not re-installations.
+// Within one fork chain unchanged routes share the parent's *Route, so
+// the common case is a single pointer compare; the structural fallback
+// keeps the diff exact across independently built computations (the
+// differential oracle in internal/whatif pins fork-diff ≡ rebuild-diff
+// through exactly this path).
+func (c *Computation) BestDiff(base *Computation) []BestChange {
+	if c.e != base.e || c.prefix != base.prefix {
+		panic("bgp: BestDiff across engines or prefixes")
+	}
+	var out []BestChange
+	for i := range c.best {
+		nb, ob := c.best[i], base.best[i]
+		if nb == ob {
+			continue
+		}
+		if nb != nil && ob != nil && sameRoute(*ob, *nb) {
+			continue
+		}
+		bc := BestChange{AS: c.e.asns[i]}
+		if ob != nil {
+			r := ob.public()
+			bc.Before = &r
+		}
+		if nb != nil {
+			r := nb.public()
+			bc.After = &r
+		}
+		out = append(out, bc)
+	}
+	return out
+}

@@ -121,6 +121,11 @@ type Computation struct {
 	// set. Atomic so concurrent Forks of one parent are race-free.
 	frozen atomic.Bool
 
+	// ov holds this computation's what-if mutations (failed links, added
+	// peerings, LocalPref overrides); nil for ordinary computations, so
+	// the base hot path pays only a nil check. See delta.go.
+	ov *overlay
+
 	// buckets is a path-length-bucketed priority queue of AS indexes
 	// whose advertisements must be recomputed. Processing shortest
 	// installed routes first approximates BFS propagation and slashes
@@ -466,7 +471,7 @@ func (c *Computation) reselect(i int32) bool {
 func (c *Computation) deliver(i int32, s int32, adv *Route) bool {
 	row := c.adjIn[i]
 	var prev *Route
-	if row != nil {
+	if int(s) < len(row) {
 		prev = row[s]
 	}
 	if prev == nil && adv == nil {
@@ -475,9 +480,20 @@ func (c *Computation) deliver(i int32, s int32, adv *Route) bool {
 	if prev != nil && adv != nil && sameRoute(*prev, *adv) {
 		return false // implicit refresh: keep the older installation
 	}
-	if row == nil {
-		row = make([]*Route, len(c.e.nbrs[i]))
-		c.adjIn[i] = row
+	if need := c.rowLen(i); len(row) < need {
+		// Missing row, or one narrower than an AddPeering slot demands:
+		// allocate at full width. Widening a row borrowed from a frozen
+		// parent doubles as its COW clone.
+		nr := make([]*Route, need)
+		copy(nr, row)
+		if c.sharedRow != nil && c.sharedRow[i] {
+			c.sharedRow[i] = false
+			if row != nil {
+				c.rowClones++
+			}
+		}
+		row = nr
+		c.adjIn[i] = nr
 	} else if c.sharedRow != nil && c.sharedRow[i] {
 		row = append(make([]*Route, 0, len(row)), row...)
 		c.adjIn[i] = row
@@ -500,8 +516,9 @@ func (c *Computation) deliver(i int32, s int32, adv *Route) bool {
 	}
 }
 
-// process recomputes what AS i advertises to each neighbor and delivers
-// the changes, enqueueing neighbors whose best routes moved.
+// process recomputes what AS i advertises to each neighbor (base
+// adjacencies, then what-if peerings) and delivers the changes,
+// enqueueing neighbors whose best routes moved.
 func (c *Computation) process(i int32) {
 	c.nProcessed++
 	a := c.e.asns[i]
@@ -513,37 +530,53 @@ func (c *Computation) process(i int32) {
 	xAS := c.e.topo.AS(a)
 	best := c.best[i]
 	for s, n := range c.e.nbrs[i] {
-		adv := c.advertisement(xAS, best, n) // scratch buffer; copied below if installed
 		j, ok := c.idx(n.ASN)
 		if !ok {
 			continue
 		}
-		back := c.e.backSlot[i][s]
-		var inst *Route
-		if adv != nil {
-			// Suppress no-op refreshes before stamping a fresh age — the
-			// common steady-state case, which now allocates nothing
-			// because adv is the reusable scratch route.
-			if cur := c.adjInAt(j, back); cur != nil && sameRoute(*cur, *adv) {
-				continue
-			}
-			c.clock++
-			inst = new(Route)
-			*inst = *adv
-			inst.Age = c.clock
-		}
-		if c.deliver(j, back, inst) {
-			c.nChanges++
-			c.enqueue(j)
+		c.propagate(xAS, best, n, j, c.e.backSlot[i][s])
+	}
+	if c.ov != nil {
+		for _, ex := range c.ov.extra[i] {
+			c.propagate(xAS, best, ex.n, ex.peerIdx, ex.backSlot)
 		}
 	}
 }
 
+// propagate recomputes what xAS advertises across one adjacency (to
+// neighbor n, landing in slot back of AS j's row) and delivers the
+// change. A link down in the what-if overlay advertises nothing — the
+// withdrawal case of deliver.
+func (c *Computation) propagate(xAS *topology.AS, best *Route, n topology.Neighbor, j, back int32) {
+	var adv *Route
+	if c.ov == nil || !c.ov.failed[n.Link.Key()] {
+		adv = c.advertisement(xAS, best, n) // scratch buffer; copied below if installed
+	}
+	var inst *Route
+	if adv != nil {
+		// Suppress no-op refreshes before stamping a fresh age — the
+		// common steady-state case, which allocates nothing because adv
+		// is the reusable scratch route.
+		if cur := c.adjInAt(j, back); cur != nil && sameRoute(*cur, *adv) {
+			return
+		}
+		c.clock++
+		inst = new(Route)
+		*inst = *adv
+		inst.Age = c.clock
+	}
+	if c.deliver(j, back, inst) {
+		c.nChanges++
+		c.enqueue(j)
+	}
+}
+
 func (c *Computation) adjInAt(i, s int32) *Route {
-	if c.adjIn[i] == nil {
+	row := c.adjIn[i]
+	if int(s) >= len(row) {
 		return nil
 	}
-	return c.adjIn[i][s]
+	return row[s]
 }
 
 // advertisement builds the route neighbor n would install upon hearing
@@ -597,6 +630,13 @@ func (c *Computation) advertisement(xAS *topology.AS, best *Route, n topology.Ne
 		lp = c.e.siblingLocalPref(nAS, orgRel, advPath, c.prefix)
 	} else {
 		lp = c.e.localPref(nAS, orgRel, advPath, c.prefix)
+	}
+	if c.ov != nil {
+		// A what-if LocalPref override on the receiving adjacency wins
+		// over every policy bonus.
+		if v, ok := c.ov.lp[[2]asn.ASN{n.ASN, x}]; ok {
+			lp = v
+		}
 	}
 	c.advScratch = Route{
 		Prefix:     c.prefix,

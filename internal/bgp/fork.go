@@ -64,6 +64,7 @@ func (c *Computation) Fork() *Computation {
 		force:     slices.Clone(c.force),
 		clock:     c.clock,
 		converged: c.converged,
+		ov:        c.ov.clone(),
 	}
 	for i, row := range f.adjIn {
 		if row != nil {

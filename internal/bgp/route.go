@@ -155,6 +155,10 @@ type Announcement struct {
 	// per-mux announcements). Nil means all neighbors, still subject to
 	// the origin AS's own SelectiveExport policy.
 	Via []asn.ASN
+	// Prepend inflates the announced path with this many extra copies of
+	// the origin (announcement-side traffic engineering; the what-if
+	// engine's prepend delta). 0 for plain announcements.
+	Prepend int
 }
 
 // basePath builds the path as it leaves the origin.
@@ -162,6 +166,9 @@ func (a Announcement) basePath() asn.Path {
 	p := asn.PathFromASNs(a.Origin)
 	if len(a.Poisoned) > 0 {
 		p = p.PrependSet(a.Poisoned).Prepend(a.Origin)
+	}
+	for i := 0; i < a.Prepend; i++ {
+		p = p.Prepend(a.Origin)
 	}
 	return p
 }

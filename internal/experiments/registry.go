@@ -83,6 +83,9 @@ func init() {
 	register("accuracy", runAccuracy)
 	register("prediction", runPrediction)
 	register("ablations", runAblations)
+	// whatif is API-era (no pre-registry print driver) and deliberately
+	// NOT part of allOrder: "all" stays the paper reproduction.
+	register("whatif", runWhatIf)
 	register("all", runAll)
 }
 

@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"routelab/internal/obs"
+	"routelab/internal/whatif"
 )
 
 // Schema identifies the response envelope shape; bump the suffix on
@@ -37,7 +38,7 @@ import (
 const Schema = "routelab-api/v1"
 
 // Kinds lists the envelope kinds the API emits.
-var Kinds = []string{"health", "metrics", "classify", "alternates", "experiment", "as", "scenarios", "scenario", "error"}
+var Kinds = []string{"health", "metrics", "classify", "alternates", "experiment", "as", "whatif", "scenarios", "scenario", "error"}
 
 // Envelope is the versioned wrapper around every response body.
 type Envelope struct {
@@ -201,7 +202,103 @@ type FleetHealthData struct {
 	IDs       []string `json:"ids"`
 }
 
-// ErrorData is the error-envelope payload.
+// WhatIfSchema identifies the POST /v1/whatif request document shape;
+// bump the suffix on breaking changes (same contract as Schema).
+const WhatIfSchema = "routelab-whatif/v1"
+
+// MaxWhatIfDeltas bounds one batched what-if request: each entry costs
+// a fork plus a reconvergence, so the cap keeps a single request from
+// monopolizing the admission gate.
+const MaxWhatIfDeltas = 32
+
+// WhatIfRequest is the POST /v1/whatif request document: one delta or a
+// batch. Exactly one of Delta and Deltas must be set; every batch entry
+// is evaluated on its own fork of the same frozen anycast base, so the
+// entries are independent counterfactuals, not a cumulative script.
+type WhatIfRequest struct {
+	Schema string `json:"schema"`
+	// Prefix selects the testbed prefix to evaluate against; empty
+	// selects the scenario's first.
+	Prefix string         `json:"prefix,omitempty"`
+	Delta  *whatif.Delta  `json:"delta,omitempty"`
+	Deltas []whatif.Delta `json:"deltas,omitempty"`
+}
+
+// Validate checks the document's wire shape: the schema tag, the
+// delta-XOR-deltas contract, the batch cap, and that every delta names
+// a known kind. Topology-dependent validation (AS existence, adjacency)
+// happens at whatif.Compile time inside the server; this is the part
+// cmd/apicheck can verify offline.
+func (req WhatIfRequest) Validate() error {
+	if req.Schema != WhatIfSchema {
+		return fmt.Errorf("schema %q, want %q", req.Schema, WhatIfSchema)
+	}
+	switch {
+	case req.Delta != nil && len(req.Deltas) > 0:
+		return fmt.Errorf("delta and deltas are mutually exclusive")
+	case req.Delta == nil && len(req.Deltas) == 0:
+		return fmt.Errorf("missing delta (or deltas)")
+	case len(req.Deltas) > MaxWhatIfDeltas:
+		return fmt.Errorf("%d deltas exceed the batch cap of %d", len(req.Deltas), MaxWhatIfDeltas)
+	}
+	for i, d := range req.All() {
+		known := false
+		for _, k := range whatif.Kinds {
+			if d.Kind == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("delta %d: unknown kind %q (have %v)", i, d.Kind, whatif.Kinds)
+		}
+	}
+	return nil
+}
+
+// All returns the requested deltas with the single form normalized to a
+// one-entry batch.
+func (req WhatIfRequest) All() []whatif.Delta {
+	if req.Delta != nil {
+		return []whatif.Delta{*req.Delta}
+	}
+	return req.Deltas
+}
+
+// WhatIfData is the whatif envelope payload: one structured diff per
+// requested delta, in request order.
+type WhatIfData struct {
+	Prefix  string        `json:"prefix"`
+	Origin  string        `json:"origin"`
+	Deltas  int           `json:"deltas"`
+	Results []whatif.Diff `json:"results"`
+}
+
+// Validate checks a whatif payload's internal consistency — what
+// cmd/apicheck verifies about served bodies beyond the envelope.
+func (d WhatIfData) Validate() error {
+	if d.Prefix == "" || d.Origin == "" {
+		return fmt.Errorf("missing prefix/origin (%q/%q)", d.Prefix, d.Origin)
+	}
+	if d.Deltas != len(d.Results) {
+		return fmt.Errorf("deltas %d != results %d", d.Deltas, len(d.Results))
+	}
+	for i, r := range d.Results {
+		if r.Delta == "" || r.Kind == "" {
+			return fmt.Errorf("result %d: missing delta/kind", i)
+		}
+		if r.Affected != len(r.Changes) || r.Affected != r.Gained+r.Lost+r.Moved {
+			return fmt.Errorf("result %d (%s): affected %d, changes %d, gained+lost+moved %d",
+				i, r.Delta, r.Affected, len(r.Changes), r.Gained+r.Lost+r.Moved)
+		}
+	}
+	return nil
+}
+
+// ErrorData is the error-envelope payload. Code is the stable
+// machine-readable error class (see the Code* constants); Error the
+// human-readable detail.
 type ErrorData struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

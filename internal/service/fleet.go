@@ -33,11 +33,11 @@ func NewFleet(store *Store) *Fleet {
 	instrument(f.mux, "GET /v1/scenarios", "scenarios", f.serveScenarios)
 	instrument(f.mux, "POST /v1/scenarios", "admit", f.serveAdmit)
 	instrument(f.mux, "GET /v1/scenarios/{id}", "scenario", f.serveScenario)
-	instrument(f.mux, "GET /v1/scenarios/{id}/healthz", "healthz", f.tenant((*Server).serveHealthz))
-	instrument(f.mux, "GET /v1/scenarios/{id}/classify", "classify", f.tenant((*Server).serveClassify))
-	instrument(f.mux, "GET /v1/scenarios/{id}/alternates", "alternates", f.tenant((*Server).serveAlternates))
-	instrument(f.mux, "GET /v1/scenarios/{id}/experiments/{name}", "experiments", f.tenant((*Server).serveExperiment))
-	instrument(f.mux, "GET /v1/scenarios/{id}/as/{asn}", "as", f.tenant((*Server).serveAS))
+	// Every per-scenario endpoint comes from the shared route table the
+	// single-scenario Server mounts at /v1 — one registration, two modes.
+	for _, rt := range scenarioRoutes {
+		instrument(f.mux, rt.method+" /v1/scenarios/{id}"+rt.path, rt.name, f.tenant(rt.h))
+	}
 	f.mux.HandleFunc("/", serveNotFound)
 	return f
 }
@@ -55,24 +55,24 @@ func (f *Fleet) tenant(h func(*Server, http.ResponseWriter, *http.Request)) http
 	return func(w http.ResponseWriter, r *http.Request) {
 		srv, err := f.store.Get(r.Context(), r.PathValue("id"))
 		if err != nil {
-			writeStoreError(w, err)
+			failStore(w, err)
 			return
 		}
 		h(srv, w, r)
 	}
 }
 
-// writeStoreError maps a store resolution failure to a status: unknown
-// id is 404, a context death while waiting on a build is 504, a failed
-// build 500.
-func writeStoreError(w http.ResponseWriter, err error) {
+// failStore maps a store resolution failure to a status: unknown id is
+// 404, a context death while waiting on a build is 504, a failed build
+// 500.
+func failStore(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownScenario):
-		writeError(w, http.StatusNotFound, err.Error())
+		fail(w, http.StatusNotFound, apiErr(CodeNotFound, err.Error()))
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusGatewayTimeout, "scenario build wait: "+err.Error())
+		fail(w, http.StatusGatewayTimeout, apiErr(CodeTimeout, "scenario build wait: "+err.Error()))
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 	}
 }
 
@@ -87,7 +87,7 @@ func (f *Fleet) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	body, err := marshalEnvelope("health", data)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 		return
 	}
 	writeBody(w, body)
@@ -103,7 +103,7 @@ func (f *Fleet) serveScenarios(w http.ResponseWriter, _ *http.Request) {
 	}
 	body, err := marshalEnvelope("scenarios", data)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 		return
 	}
 	writeBody(w, body)
@@ -112,12 +112,12 @@ func (f *Fleet) serveScenarios(w http.ResponseWriter, _ *http.Request) {
 func (f *Fleet) serveScenario(w http.ResponseWriter, r *http.Request) {
 	info, err := f.store.Info(r.PathValue("id"))
 	if err != nil {
-		writeStoreError(w, err)
+		failStore(w, err)
 		return
 	}
 	body, err := marshalEnvelope("scenario", ScenarioData{Scenario: info})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 		return
 	}
 	writeBody(w, body)
@@ -136,40 +136,40 @@ const maxSpecBytes = 1 << 20
 func (f *Fleet) serveAdmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "read spec body: "+err.Error())
+		fail(w, http.StatusBadRequest, apiErr(CodeBadBody, "read spec body: "+err.Error()))
 		return
 	}
 	if len(body) > maxSpecBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "spec document exceeds 1 MiB")
+		fail(w, http.StatusRequestEntityTooLarge, apiErr(CodeTooLarge, "spec document exceeds 1 MiB"))
 		return
 	}
 	format, err := specFormat(r, body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, err.Error()))
 		return
 	}
 	sp, err := spec.Parse("request body", body, format, nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid spec: "+err.Error())
+		fail(w, http.StatusBadRequest, apiErr(CodeBadBody, "invalid spec: "+err.Error()))
 		return
 	}
 	exp, err := sp.Expansion()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid spec: "+err.Error())
+		fail(w, http.StatusBadRequest, apiErr(CodeBadBody, "invalid spec: "+err.Error()))
 		return
 	}
 	if err := f.store.Register(exp, "api"); err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+		fail(w, http.StatusConflict, apiErr(CodeConflict, err.Error()))
 		return
 	}
 	info, err := f.store.Info(exp.Name)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 		return
 	}
 	resp, err := marshalEnvelope("scenario", ScenarioData{Scenario: info})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

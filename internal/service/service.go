@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +19,7 @@ import (
 	"routelab/internal/obs"
 	"routelab/internal/parallel"
 	"routelab/internal/scenario"
+	"routelab/internal/whatif"
 )
 
 // Config sizes the service layer.
@@ -109,14 +112,40 @@ func newTenant(id string, s *scenario.Scenario, cfg Config, shared *cache) *Serv
 	}
 	srv.health = health
 
-	srv.handle("GET /v1/healthz", "healthz", srv.serveHealthz)
+	for _, rt := range scenarioRoutes {
+		srv.handle(rt.method+" /v1"+rt.path, rt.name, srv.bind(rt.h))
+	}
 	srv.handle("GET /v1/metrics", "metrics", serveMetrics)
-	srv.handle("GET /v1/classify", "classify", srv.serveClassify)
-	srv.handle("GET /v1/alternates", "alternates", srv.serveAlternates)
-	srv.handle("GET /v1/experiments/{name}", "experiments", srv.serveExperiment)
-	srv.handle("GET /v1/as/{asn}", "as", srv.serveAS)
 	srv.mux.HandleFunc("/", serveNotFound)
 	return srv
+}
+
+// scenarioRoute is one per-scenario endpoint of the shared route table.
+type scenarioRoute struct {
+	method string
+	path   string // under the scenario root
+	name   string // obs instrumentation name (service.requests.<name>)
+	h      func(*Server, http.ResponseWriter, *http.Request)
+}
+
+// scenarioRoutes is the single route table for every per-scenario
+// endpoint: the single-scenario Server mounts it at /v1{path}, the
+// Fleet at /v1/scenarios/{id}{path} behind its tenant resolver. Adding
+// a row here is the whole registration — the two modes cannot drift.
+// (/v1/metrics is deliberately absent: the obs registry is
+// process-global, so the fleet serves it once, not per scenario.)
+var scenarioRoutes = []scenarioRoute{
+	{http.MethodGet, "/healthz", "healthz", (*Server).serveHealthz},
+	{http.MethodGet, "/classify", "classify", (*Server).serveClassify},
+	{http.MethodGet, "/alternates", "alternates", (*Server).serveAlternates},
+	{http.MethodGet, "/experiments/{name}", "experiments", (*Server).serveExperiment},
+	{http.MethodGet, "/as/{asn}", "as", (*Server).serveAS},
+	{http.MethodPost, "/whatif", "whatif", (*Server).serveWhatIf},
+}
+
+// bind closes a route-table handler over this tenant.
+func (srv *Server) bind(h func(*Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(srv, w, r) }
 }
 
 // Handler returns the service's http.Handler (the /v1 API).
@@ -144,7 +173,7 @@ func (srv *Server) handle(pattern, name string, h http.HandlerFunc) {
 }
 
 func serveNotFound(w http.ResponseWriter, r *http.Request) {
-	writeError(w, http.StatusNotFound, fmt.Sprintf("no such route: %s %s", r.Method, r.URL.Path))
+	fail(w, http.StatusNotFound, apiErr(CodeNotFound, fmt.Sprintf("no such route: %s %s", r.Method, r.URL.Path)))
 }
 
 type statusWriter struct {
@@ -226,10 +255,42 @@ func writeBody(w http.ResponseWriter, body []byte) {
 	write(w, body)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	body, err := marshalEnvelope("error", ErrorData{Error: msg})
+// APIError is a typed handler error: a stable machine-readable code
+// (one of the Code* constants, carried in the envelope so clients can
+// branch without parsing messages) plus the human-readable detail.
+type APIError struct {
+	Code    string
+	Message string
+}
+
+// Error codes every handler reports through fail. The vocabulary is
+// deliberately small — a code names a client-actionable class, not an
+// individual failure site.
+const (
+	// CodeBadParam: a malformed or missing query/path parameter.
+	CodeBadParam = "bad_param"
+	// CodeBadBody: an unreadable or invalid request document.
+	CodeBadBody = "bad_body"
+	// CodeNotFound: the named resource does not exist.
+	CodeNotFound = "not_found"
+	// CodeConflict: the request collides with existing state.
+	CodeConflict = "conflict"
+	// CodeTooLarge: the request document exceeds its size cap.
+	CodeTooLarge = "too_large"
+	// CodeTimeout: the request ran out of time (gate queue or compute).
+	CodeTimeout = "timeout"
+	// CodeInternal: a server-side failure the client cannot repair.
+	CodeInternal = "internal"
+)
+
+func apiErr(code, msg string) APIError { return APIError{Code: code, Message: msg} }
+
+// fail sends one typed error envelope — the single exit for every
+// non-2xx response in both service modes.
+func fail(w http.ResponseWriter, status int, e APIError) {
+	body, err := marshalEnvelope("error", ErrorData{Error: e.Message, Code: e.Code})
 	if err != nil {
-		http.Error(w, msg, status)
+		http.Error(w, e.Message, status)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -237,15 +298,15 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	write(w, body)
 }
 
-// writeComputeError maps a computation failure to a status: deadline or
+// failCompute maps a computation failure to a status: deadline or
 // cancellation (the request ran out of time in the gate queue or
-// mid-experiment) is 504, anything else 500.
-func writeComputeError(w http.ResponseWriter, err error) {
+// mid-computation) is 504, anything else 500.
+func failCompute(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded: "+err.Error())
+		fail(w, http.StatusGatewayTimeout, apiErr(CodeTimeout, "request deadline exceeded: "+err.Error()))
 		return
 	}
-	writeError(w, http.StatusInternalServerError, err.Error())
+	fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 }
 
 // --- endpoints --------------------------------------------------------
@@ -260,7 +321,7 @@ func (srv *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 func serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	body, err := marshalEnvelope("metrics", MetricsData{Metrics: obs.Snap()})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 		return
 	}
 	writeBody(w, body)
@@ -271,26 +332,26 @@ func (srv *Server) serveClassify(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	traceStr := r.URL.Query().Get("trace")
 	if traceStr == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter: trace")
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, "missing required parameter: trace"))
 		return
 	}
 	trace, err := strconv.Atoi(traceStr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad trace id: "+err.Error())
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, "bad trace id: "+err.Error()))
 		return
 	}
 	refs := classify.Refinements
 	if rq := r.URL.Query().Get("refinement"); rq != "" {
 		ref, ok := refinementByName(rq)
 		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown refinement %q (have %v)", rq, refinementNames()))
+			fail(w, http.StatusBadRequest, apiErr(CodeBadParam, fmt.Sprintf("unknown refinement %q (have %v)", rq, refinementNames())))
 			return
 		}
 		refs = []classify.Refinement{ref}
 	}
 	idx, ok := srv.traceIdx[trace]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no measurement with trace id %d", trace))
+		fail(w, http.StatusNotFound, apiErr(CodeNotFound, fmt.Sprintf("no measurement with trace id %d", trace)))
 		return
 	}
 	refKey := "all"
@@ -302,7 +363,7 @@ func (srv *Server) serveClassify(w http.ResponseWriter, r *http.Request) {
 		return srv.classifyBody(ctx, idx, refs)
 	})
 	if err != nil {
-		writeComputeError(w, err)
+		failCompute(w, err)
 		return
 	}
 	w.Header().Set(CacheHeader, cacheStatus(hit))
@@ -345,16 +406,16 @@ func (srv *Server) serveAlternates(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	targetStr := r.URL.Query().Get("target")
 	if targetStr == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter: target")
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, "missing required parameter: target"))
 		return
 	}
 	target, err := asn.ParseASN(targetStr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad target: "+err.Error())
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, "bad target: "+err.Error()))
 		return
 	}
 	if srv.s.Topo.AS(target) == nil {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no such AS: %s", target))
+		fail(w, http.StatusNotFound, apiErr(CodeNotFound, fmt.Sprintf("no such AS: %s", target)))
 		return
 	}
 	key := "alternates|" + target.String()
@@ -365,7 +426,7 @@ func (srv *Server) serveAlternates(w http.ResponseWriter, r *http.Request) {
 		return srv.alternatesBody(target)
 	})
 	if err != nil {
-		writeComputeError(w, err)
+		failCompute(w, err)
 		return
 	}
 	w.Header().Set(CacheHeader, cacheStatus(hit))
@@ -406,21 +467,21 @@ func (srv *Server) serveExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	exp, ok := experiments.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (have %v)", name, experiments.Names()))
+		fail(w, http.StatusNotFound, apiErr(CodeNotFound, fmt.Sprintf("unknown experiment %q (have %v)", name, experiments.Names())))
 		return
 	}
 	seed := srv.s.Cfg.Seed
 	if sq := r.URL.Query().Get("seed"); sq != "" {
 		v, err := strconv.ParseInt(sq, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			fail(w, http.StatusBadRequest, apiErr(CodeBadParam, "bad seed: "+err.Error()))
 			return
 		}
 		seed = v
 	}
 	format := r.URL.Query().Get("format")
 	if format != "" && format != "json" && format != "text" {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (have json, text)", format))
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, fmt.Sprintf("unknown format %q (have json, text)", format)))
 		return
 	}
 	key := fmt.Sprintf("experiment|%s|%d|%s", name, seed, format)
@@ -435,7 +496,7 @@ func (srv *Server) serveExperiment(w http.ResponseWriter, r *http.Request) {
 		return marshalEnvelope("experiment", ExperimentData{Name: name, Seed: seed, Result: res})
 	})
 	if err != nil {
-		writeComputeError(w, err)
+		failCompute(w, err)
 		return
 	}
 	w.Header().Set(CacheHeader, cacheStatus(hit))
@@ -452,12 +513,12 @@ func (srv *Server) serveAS(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	a, err := asn.ParseASN(r.PathValue("asn"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad asn: "+err.Error())
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, "bad asn: "+err.Error()))
 		return
 	}
 	x := srv.s.Topo.AS(a)
 	if x == nil {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no such AS: %s", a))
+		fail(w, http.StatusNotFound, apiErr(CodeNotFound, fmt.Sprintf("no such AS: %s", a)))
 		return
 	}
 	key := "as|" + a.String()
@@ -468,7 +529,7 @@ func (srv *Server) serveAS(w http.ResponseWriter, r *http.Request) {
 		return srv.asBody(x.ASN)
 	})
 	if err != nil {
-		writeComputeError(w, err)
+		failCompute(w, err)
 		return
 	}
 	w.Header().Set(CacheHeader, cacheStatus(hit))
@@ -502,6 +563,93 @@ func (srv *Server) asBody(a asn.ASN) ([]byte, error) {
 		data.InferredNeighbors[srv.s.Context.Graph.Rel(a, n).String()]++
 	}
 	return marshalEnvelope("as", data)
+}
+
+// maxWhatIfBytes bounds a what-if request document; even a full batch
+// of deltas is a few KiB.
+const maxWhatIfBytes = 1 << 20
+
+// serveWhatIf is the POST /v1/whatif endpoint: a routelab-whatif/v1
+// document carrying one delta (or a batch) to evaluate against the
+// frozen converged anycast base. Each batch entry forks that same base
+// — the entries are independent counterfactuals — and the response is
+// one structured diff per entry. Bodies are cached under the batch's
+// canonical delta key, so semantically equal requests (reordered link
+// endpoints, shuffled poison sets) share one computation.
+func (srv *Server) serveWhatIf(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := srv.reqCtx(r)
+	defer cancel()
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxWhatIfBytes+1))
+	if err != nil {
+		fail(w, http.StatusBadRequest, apiErr(CodeBadBody, "read request body: "+err.Error()))
+		return
+	}
+	if len(raw) > maxWhatIfBytes {
+		fail(w, http.StatusRequestEntityTooLarge, apiErr(CodeTooLarge, "what-if document exceeds 1 MiB"))
+		return
+	}
+	var req WhatIfRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		fail(w, http.StatusBadRequest, apiErr(CodeBadBody, "invalid what-if document: "+err.Error()))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		fail(w, http.StatusBadRequest, apiErr(CodeBadBody, err.Error()))
+		return
+	}
+	ds := req.All()
+	prefix := srv.s.Testbed.Prefixes[0]
+	if req.Prefix != "" {
+		p, err := asn.ParsePrefix(req.Prefix)
+		if err != nil {
+			fail(w, http.StatusBadRequest, apiErr(CodeBadParam, "bad prefix: "+err.Error()))
+			return
+		}
+		if !slices.Contains(srv.s.Testbed.Prefixes, p) {
+			fail(w, http.StatusNotFound, apiErr(CodeNotFound, fmt.Sprintf("prefix %s is not a testbed prefix (have %v)", p, srv.s.Testbed.Prefixes)))
+			return
+		}
+		prefix = p
+	}
+	cds, err := whatif.CompileAll(ds, srv.s.Topo, srv.s.Testbed.Origin)
+	if err != nil {
+		fail(w, http.StatusBadRequest, apiErr(CodeBadParam, err.Error()))
+		return
+	}
+	key := "whatif|" + prefix.String() + "|" + whatif.CanonicalKey(cds)
+	body, hit, err := srv.compute(ctx, key, func(ctx context.Context) ([]byte, error) {
+		return srv.whatifBody(ctx, prefix, cds)
+	})
+	if err != nil {
+		failCompute(w, err)
+		return
+	}
+	w.Header().Set(CacheHeader, cacheStatus(hit))
+	writeBody(w, body)
+}
+
+func (srv *Server) whatifBody(ctx context.Context, prefix asn.Prefix, cds []*whatif.Compiled) ([]byte, error) {
+	// Every entry forks the frozen base directly rather than draining the
+	// warm pool: the pool amortizes single-fork endpoints, while a batch
+	// would empty it and fall back to forking anyway. Direct forks keep
+	// the cost exactly one bgp.fork.calls per entry (tests assert this).
+	base := srv.s.Testbed.AnycastBase(prefix)
+	data := WhatIfData{
+		Prefix: prefix.String(),
+		Origin: srv.s.Testbed.Origin.String(),
+		Deltas: len(cds),
+	}
+	for _, cd := range cds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d, err := whatif.Eval(base, cd)
+		if err != nil {
+			return nil, err
+		}
+		data.Results = append(data.Results, d)
+	}
+	return marshalEnvelope("whatif", data)
 }
 
 // --- refinement names -------------------------------------------------

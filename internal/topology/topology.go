@@ -216,6 +216,46 @@ func (t *Topology) Links(fn func(*Link)) {
 	}
 }
 
+// ProposeLink validates a would-be adjacency against the sealed graph
+// and returns a canonical candidate Link for it. The topology itself is
+// never touched — the result is not registered anywhere; the what-if
+// engine attaches it to a single bgp computation (new-peering delta).
+// roleOfB is b's role from a's perspective, so
+// ProposeLink(a, b, r) ≡ ProposeLink(b, a, r.Invert()) exactly, down to
+// the interconnection-city order. Errors: a == b, unknown AS, bad role,
+// already adjacent, or no shared interconnection city.
+func (t *Topology) ProposeLink(a, b asn.ASN, roleOfB Rel) (*Link, error) {
+	if a == b {
+		return nil, fmt.Errorf("topology: propose link %s-%s: an AS cannot peer with itself", a, b)
+	}
+	if t.ases[a] == nil {
+		return nil, fmt.Errorf("topology: propose link: no such AS: %s", a)
+	}
+	if t.ases[b] == nil {
+		return nil, fmt.Errorf("topology: propose link: no such AS: %s", b)
+	}
+	switch roleOfB {
+	case RelCustomer, RelSibling, RelPeer, RelProvider:
+	default:
+		return nil, fmt.Errorf("topology: propose link %s-%s: bad role", a, b)
+	}
+	if t.Link(a, b) != nil {
+		return nil, fmt.Errorf("topology: propose link %s-%s: already adjacent", a, b)
+	}
+	l := &Link{Lo: a, Hi: b, HiRole: roleOfB}
+	if a > b {
+		l.Lo, l.Hi = b, a
+		l.HiRole = roleOfB.Invert()
+	}
+	// Cities come from the canonical (Lo, Hi) orientation so the two
+	// argument orders build byte-identical links.
+	l.Cities = t.SharedCities(l.Lo, l.Hi)
+	if len(l.Cities) == 0 {
+		return nil, fmt.Errorf("topology: propose link %s-%s: no shared interconnection city", a, b)
+	}
+	return l, nil
+}
+
 // Neighbors returns the adjacency list of an AS. The slice is shared;
 // callers must not modify it.
 func (t *Topology) Neighbors(a asn.ASN) []Neighbor { return t.neighbors[a] }

@@ -1,0 +1,125 @@
+package whatif_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"routelab/internal/bgp"
+	"routelab/internal/peering"
+	"routelab/internal/topology"
+	"routelab/internal/whatif"
+)
+
+// oracleDeltas is the deterministic delta set the oracle replays on
+// every seed: one of each kind, targeting the testbed's own adjacencies
+// so they compile on any generated topology.
+func oracleDeltas(t *testing.T, topo *topology.Topology, tb *peering.Testbed) []*whatif.Compiled {
+	t.Helper()
+	origin := tb.Origin
+	mux0, mux1 := tb.Muxes[0], tb.Muxes[1%len(tb.Muxes)]
+	pa, pb := peeringPair(t, topo)
+	ds := []whatif.Delta{
+		{Kind: whatif.LinkFailure, A: origin.String(), B: mux0.String()},
+		{Kind: whatif.NewPeering, A: pa.String(), B: pb.String(), Rel: "provider"},
+		{Kind: whatif.Poison, Poisoned: []string{mux0.String()}},
+		{Kind: whatif.Poison, Poisoned: []string{mux1.String(), mux0.String()}},
+		{Kind: whatif.Prepend, Prepend: 3},
+		{Kind: whatif.LocalPref, At: mux0.String(), From: origin.String(), Pref: 10},
+		{Kind: whatif.Withdraw},
+	}
+	cds, err := whatif.CompileAll(ds, topo, origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cds
+}
+
+// TestForkDiffMatchesRebuildDiff is the differential oracle the tentpole
+// rests on: for every delta kind, the diff computed the cheap way (COW
+// fork of the frozen base, incremental reconvergence) must equal the
+// diff of two from-scratch builds — one replaying only the base
+// announcement, one replaying base + delta. PR 5's fork suite pins
+// fork ≡ replay at the full-state level; this pins the derived Diff
+// (including churn counters) at the API level, across ≥4 seeds, under
+// -race via make verify.
+func TestForkDiffMatchesRebuildDiff(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			topo, engine, tb := world(t, seed)
+			p := tb.Prefixes[0]
+			base := tb.AnycastBase(p)
+			for _, cd := range oracleDeltas(t, topo, tb) {
+				forked, err := whatif.Eval(base, cd)
+				if err != nil {
+					t.Fatalf("%s: fork eval: %v", cd.Canonical(), err)
+				}
+
+				// From-scratch twins: one stays at the base announcement,
+				// the other continues into the delta. Neither shares any
+				// state with the fork path.
+				mkBase := func() *bgp.Computation {
+					c := engine.NewComputation(p)
+					c.Announce(bgp.Announcement{Origin: tb.Origin})
+					if !c.Converge() {
+						t.Fatalf("%s: rebuild base did not converge", cd.Canonical())
+					}
+					return c
+				}
+				before := mkBase()
+				after := mkBase()
+				rebuilt, err := whatif.EvalOn(after, before, cd)
+				if err != nil {
+					t.Fatalf("%s: rebuild eval: %v", cd.Canonical(), err)
+				}
+
+				if !reflect.DeepEqual(forked, rebuilt) {
+					t.Errorf("%s: fork-diff != rebuild-diff\nfork:    %+v\nrebuild: %+v",
+						cd.Canonical(), forked, rebuilt)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentEvalsShareOneBase pins the batch contract: any number
+// of evaluations may fork one frozen base concurrently, and each
+// produces the identical diff.
+func TestConcurrentEvalsShareOneBase(t *testing.T) {
+	topo, _, tb := world(t, 1)
+	p := tb.Prefixes[0]
+	base := tb.AnycastBase(p)
+	cd, err := whatif.Compile(
+		whatif.Delta{Kind: whatif.Poison, Poisoned: []string{tb.Muxes[0].String()}},
+		topo, tb.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := whatif.Eval(base, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	diffs := make([]whatif.Diff, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			diffs[w], errs[w] = whatif.Eval(base, cd)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reflect.DeepEqual(diffs[w], want) {
+			t.Fatalf("worker %d diff diverges:\n%+v\nwant %+v", w, diffs[w], want)
+		}
+	}
+}

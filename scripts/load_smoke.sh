@@ -25,6 +25,7 @@ echo "==> building"
 go build -o "$WORKDIR/routelabd" ./cmd/routelabd
 go build -o "$WORKDIR/routeload" ./cmd/routeload
 go build -o "$WORKDIR/loadcheck" ./cmd/loadcheck
+go build -o "$WORKDIR/apicheck" ./cmd/apicheck
 
 echo "==> starting routelabd fleet on $ADDR (-scenario-dir scenarios)"
 "$WORKDIR/routelabd" -addr "$ADDR" -scenario-dir scenarios -quiet \
@@ -79,6 +80,19 @@ if [ "$STATUS" != 200 ]; then
     echo "FAIL: admitted scenario healthz -> $STATUS" >&2
     exit 1
 fi
+
+echo "==> what-if round trip: request and response both pass apicheck"
+WHATIF_DOC='{"schema":"routelab-whatif/v1","deltas":[{"kind":"withdraw"},{"kind":"prepend","prepend":2}]}'
+printf '%s' "$WHATIF_DOC" | "$WORKDIR/apicheck"
+STATUS=$(curl -sS -o "$WORKDIR/whatif.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    --data-binary "$WHATIF_DOC" "http://$ADDR/v1/scenarios/smoke/whatif")
+if [ "$STATUS" != 200 ]; then
+    echo "FAIL: whatif -> $STATUS (want 200)" >&2
+    cat "$WORKDIR/whatif.json" >&2
+    exit 1
+fi
+"$WORKDIR/apicheck" "$WORKDIR/whatif.json"
 
 echo "==> driving the tiny fleet with routeload"
 "$WORKDIR/routeload" -addr "$ADDR" -scenarios smoke,smoke-alt \
