@@ -5,9 +5,14 @@
 // missing, unparseable, or malformed file, which is how CI's routelint
 // job fails on a broken emission.
 //
+// Beyond schema validity it also gates on rule count: -min-rules
+// (default: the size of the registry this binary was built against)
+// rejects a report produced by a narrowed `-rules` run or by a build
+// where an analyzer was deleted, so CI cannot silently lose coverage.
+//
 // Usage:
 //
-//	lintcheck [path]    (default LINT_routelab.json)
+//	lintcheck [-min-rules N] [path]    (default LINT_routelab.json)
 package main
 
 import (
@@ -20,8 +25,10 @@ import (
 )
 
 func main() {
+	minRules := flag.Int("min-rules", len(lint.Analyzers()),
+		"fail unless the report covers at least this many rules")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lintcheck [path to LINT_routelab.json]")
+		fmt.Fprintln(os.Stderr, "usage: lintcheck [-min-rules N] [path to LINT_routelab.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +45,11 @@ func main() {
 	rep, err := lint.ReadReport(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lintcheck:", err)
+		os.Exit(1)
+	}
+	if len(rep.Analyzers) < *minRules {
+		fmt.Fprintf(os.Stderr, "lintcheck: %s: rule coverage regressed: report has %d analyzer(s), want >= %d (was it produced by a -rules subset, or was an analyzer deleted?)\n",
+			path, len(rep.Analyzers), *minRules)
 		os.Exit(1)
 	}
 

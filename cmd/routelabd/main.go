@@ -222,6 +222,10 @@ func main() {
 	}
 
 	var handler http.Handler
+	// closeServing joins serving-side background goroutines (fork-pool
+	// refills) after the HTTP drain, so a clean exit leaves nothing
+	// running.
+	var closeServing func()
 	if *scenarioDir != "" {
 		store := service.NewStore(service.StoreConfig{
 			MaxScenarios: *maxScenarios,
@@ -238,13 +242,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "routelabd: fleet of %d scenario(s) from %s: %s\n",
 			n, *scenarioDir, strings.Join(store.IDs(), ", "))
 		handler = service.NewFleet(store).Handler()
+		closeServing = store.Close
 	} else {
 		s, err := scenario.Build(cfg, logf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "routelabd:", err)
 			os.Exit(1)
 		}
-		handler = service.New(s, tenantCfg).Handler()
+		srv := service.New(s, tenantCfg)
+		handler = srv.Handler()
+		closeServing = srv.Close
 	}
 
 	httpSrv := &http.Server{Handler: handler}
@@ -284,6 +291,7 @@ func main() {
 		writeMetrics()
 		os.Exit(1)
 	}
+	closeServing()
 	writeMetrics()
 	fmt.Fprintln(os.Stderr, "routelabd: drained, bye")
 }

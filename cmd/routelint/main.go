@@ -1,21 +1,29 @@
 // Command routelint runs routelab's repo-invariant static-analysis
-// suite (internal/lint): five analyzers that prove, at compile time,
-// the determinism, sealing, and hot-path rules the reproduction's
-// goldens and concurrency model depend on. It is dependency-free —
-// stdlib go/ast, go/parser, go/types, and go/importer only — so it runs
-// on a bare toolchain and keeps go.mod require-free.
+// suite (internal/lint): nine analyzers that prove, at compile time,
+// the determinism, sealing, envelope, and shutdown rules the
+// reproduction's goldens and concurrency model depend on. It is
+// dependency-free — stdlib go/ast, go/parser, go/types, and go/importer
+// only — so it runs on a bare toolchain and keeps go.mod require-free.
 //
 // Usage:
 //
-//	routelint [-format=text|json] [-list] [packages...]
+//	routelint [-format=text|json] [-rules a,b] [-exclude-rules c]
+//	          [-group] [-list] [packages...]
 //
 // Packages default to ./... (every package in the enclosing module).
-// Findings print as "file:line:col: [rule-id] message"; the exit status
-// is 0 when clean, 1 on findings, 2 on usage or load errors.
+// Findings print as "file:line:col: [rule-id] message"; -group instead
+// batches text output by rule (the `make lint-fix-list` view). -rules
+// restricts the run to a comma-separated subset of the suite and
+// -exclude-rules drops rules from it; suppression directives are still
+// validated against the full registry, so a narrowed run never
+// misreports `//lint:allow` lines for the rules it skipped.
 // -format=json emits a routelab-lint/v1 report (validated by
 // cmd/lintcheck) instead of text. Suppress an individual finding with a
 // `//lint:allow rule-id reason` comment on the finding's line or the
 // line above; the reason is mandatory.
+//
+// Exit status: 0 when every selected rule is clean, 1 on findings, 2 on
+// usage errors (including unknown rule ids) or module load errors.
 package main
 
 import (
@@ -31,22 +39,30 @@ import (
 
 func main() {
 	format := flag.String("format", "text", "output format: text or json (routelab-lint/v1)")
+	rules := flag.String("rules", "", "comma-separated rule ids to run (default: the whole suite)")
+	excludeRules := flag.String("exclude-rules", "", "comma-separated rule ids to skip")
+	group := flag.Bool("group", false, "group text findings by rule (fix-list view)")
 	list := flag.Bool("list", false, "list the analyzer suite and exit")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: routelint [-format=text|json] [-list] [packages...]")
+		fmt.Fprintln(os.Stderr, "usage: routelint [-format=text|json] [-rules a,b] [-exclude-rules c] [-group] [-list] [packages...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	analyzers := lint.Analyzers()
+	all := lint.Analyzers()
 	if *list {
-		for _, a := range analyzers {
+		for _, a := range all {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "routelint: unknown format %q (have text, json)\n", *format)
+		os.Exit(2)
+	}
+	analyzers, err := lint.SelectAnalyzers(all, splitRules(*rules), splitRules(*excludeRules))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routelint:", err)
 		os.Exit(2)
 	}
 
@@ -77,8 +93,13 @@ func main() {
 			fail(err)
 		}
 	default:
-		for _, f := range relativize(findings, cwd) {
-			fmt.Println(f)
+		rel := relativize(findings, cwd)
+		if *group {
+			printGrouped(rel, analyzers)
+		} else {
+			for _, f := range rel {
+				fmt.Println(f)
+			}
 		}
 		if len(findings) > 0 {
 			fmt.Fprintf(os.Stderr, "routelint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
@@ -87,6 +108,38 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// printGrouped batches findings under one heading per rule, in registry
+// order, with a per-rule count — the view `make lint-fix-list` serves
+// so a cleanup pass can be carved up rule by rule.
+func printGrouped(findings []lint.Finding, analyzers []*lint.Analyzer) {
+	byRule := make(map[string][]lint.Finding)
+	for _, f := range findings {
+		byRule[f.Rule] = append(byRule[f.Rule], f)
+	}
+	for _, a := range analyzers {
+		fs := byRule[a.Name]
+		if len(fs) == 0 {
+			continue
+		}
+		fmt.Printf("%s: %d finding(s) — %s\n", a.Name, len(fs), a.Doc)
+		for _, f := range fs {
+			fmt.Printf("  %s:%d:%d: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
+		}
+	}
+}
+
+// splitRules parses one comma-separated rule-id list, dropping empty
+// elements so "-rules=" means "no restriction".
+func splitRules(s string) []string {
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 func fail(err error) {

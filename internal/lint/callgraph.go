@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the module-wide static call graph: every function and
+// method declared in the analyzed module, with edges to the in-module
+// functions its body statically calls. Calls through function-typed
+// values, interface methods, and builtins carry no edge — the graph is
+// an under-approximation, which is the right polarity for the rules
+// built on it (a missing edge can only make a rule quieter, never
+// noisier on code that proves its own safety).
+//
+// The graph is built once per Program (see Program.CallGraph) and
+// shared by every interprocedural analyzer: hotatomic's Converge
+// traversal, frozenfork's mutated-parameter fixpoint, cachekey's
+// string-flow proof, and goroleak's spawned-body resolution.
+type CallGraph struct {
+	prog *Program
+	// decls maps every in-module function object to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+	// pkgs maps every in-module function object to its home package.
+	pkgs map[*types.Func]*Package
+	// callees holds the deduplicated in-module callees of each function,
+	// in source order (deterministic traversals fall out for free).
+	callees map[*types.Func][]*types.Func
+}
+
+// CallGraph returns the module's call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p) })
+	return p.cg
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	cg := &CallGraph{
+		prog:    prog,
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		pkgs:    make(map[*types.Func]*Package),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if f, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					cg.decls[f] = fd
+					cg.pkgs[f] = pkg
+				}
+			}
+		}
+	}
+	for f, fd := range cg.decls {
+		info := cg.pkgs[f].Info
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, inModule := cg.decls[callee]; !inModule {
+				return true
+			}
+			seen[callee] = true
+			cg.callees[f] = append(cg.callees[f], callee)
+			return true
+		})
+	}
+	return cg
+}
+
+// Decl returns f's declaration, or nil if f is not declared in the
+// module (stdlib, interface method, nil).
+func (g *CallGraph) Decl(f *types.Func) *ast.FuncDecl { return g.decls[f] }
+
+// PackageOf returns the package f is declared in, or nil.
+func (g *CallGraph) PackageOf(f *types.Func) *Package { return g.pkgs[f] }
+
+// Callees returns f's in-module static callees in source order.
+func (g *CallGraph) Callees(f *types.Func) []*types.Func { return g.callees[f] }
+
+// Funcs returns every in-module function, sorted by declaration
+// position — the stable iteration order for whole-module fixpoints.
+func (g *CallGraph) Funcs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.decls))
+	for f := range g.decls {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return g.decls[out[i]].Pos() < g.decls[out[j]].Pos() })
+	return out
+}
+
+// Method locates the method recvType.name declared in pkg, or nil.
+func (g *CallGraph) Method(pkg *Package, recvType, name string) *types.Func {
+	for f := range g.decls {
+		if f.Name() != name || g.pkgs[f] != pkg {
+			continue
+		}
+		recv := f.Type().(*types.Signature).Recv()
+		if recv != nil && isNamedType(recv.Type(), pkg.Path, recvType) {
+			return f
+		}
+	}
+	return nil
+}
+
+// Reachable walks the call graph from root and returns every reached
+// function (including root). samePkg restricts the walk to root's
+// package — the hotatomic semantics, where the hot set is the Converge
+// tree inside internal/bgp. stop names functions that are neither
+// reported nor descended into (sanctioned flush points).
+func (g *CallGraph) Reachable(root *types.Func, samePkg bool, stop map[string]bool) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	rootPkg := g.pkgs[root]
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		decl, ok := g.decls[f]
+		if !ok || out[f] != nil || stop[f.Name()] {
+			return
+		}
+		if samePkg && g.pkgs[f] != rootPkg {
+			return
+		}
+		out[f] = decl
+		for _, callee := range g.callees[f] {
+			visit(callee)
+		}
+	}
+	visit(root)
+	return out
+}
+
+// enclosingFuncDecls pairs every function declaration of a package with
+// its defining object, in source order. Analyzers that reason per
+// enclosing function (envelope's blessed writers, goroleak's spawn
+// sites, frozenfork's flow tracking) iterate this instead of raw files
+// so a finding always knows its home declaration.
+func enclosingFuncDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// identObject resolves an expression to the object it names: an
+// identifier's use/def, or a selector's field/method object. Returns
+// nil for anything more complex.
+func identObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// receiverIdentObject returns the object of a method call's receiver
+// when the receiver is a plain identifier (x.M(...)), else nil.
+func receiverIdentObject(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}

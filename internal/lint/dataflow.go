@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// stringFlow proves facts of the form "this string expression mentions
+// that object" by walking the expression's data sources: concatenation
+// operands, fmt.Sprint*/strings.Join arguments, local-variable
+// assignments inside the enclosing declaration, and — through the call
+// graph — in-module helper functions all of whose return values carry
+// the mention. It is deliberately an under-approximation: code that
+// wants a clean bill must make the flow syntactically evident, which is
+// exactly the reviewability property the cachekey rule enforces.
+type stringFlow struct {
+	cg *CallGraph
+	// visitedVars/visitedFuncs break cycles (x = x + "|", mutually
+	// recursive helpers) without bounding legitimate depth.
+	visitedVars  map[*types.Var]bool
+	visitedFuncs map[*types.Func]bool
+}
+
+func newStringFlow(cg *CallGraph) *stringFlow {
+	return &stringFlow{
+		cg:           cg,
+		visitedVars:  make(map[*types.Var]bool),
+		visitedFuncs: make(map[*types.Func]bool),
+	}
+}
+
+// mentions reports whether expr provably references target. pkg is the
+// package expr belongs to; scope is the enclosing declaration body
+// searched for local assignments (may be nil).
+func (sf *stringFlow) mentions(pkg *Package, scope *ast.BlockStmt, expr ast.Expr, target types.Object) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == target {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || scope == nil || sf.visitedVars[v] {
+			return false
+		}
+		sf.visitedVars[v] = true
+		for _, src := range assignedSources(pkg.Info, scope, v) {
+			if sf.mentions(pkg, scope, src, target) {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel] == target
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return sf.mentions(pkg, scope, e.X, target) || sf.mentions(pkg, scope, e.Y, target)
+		}
+	case *ast.CallExpr:
+		f := calleeFunc(pkg.Info, e)
+		if f == nil {
+			return false
+		}
+		// String-building stdlib calls propagate any argument's mention.
+		if pkgPath := funcPkgPath(f); (pkgPath == "fmt" && strings.HasPrefix(f.Name(), "Sprint")) ||
+			(pkgPath == "strings" && f.Name() == "Join") {
+			for _, arg := range e.Args {
+				if sf.mentions(pkg, scope, arg, target) {
+					return true
+				}
+			}
+			return false
+		}
+		// An in-module helper proves the mention when every return path
+		// does. Field targets (the interesting case: Server.id) resolve
+		// to the same object from any receiver, so no parameter
+		// substitution is needed.
+		decl := sf.cg.Decl(f)
+		if decl == nil || sf.visitedFuncs[f] {
+			return false
+		}
+		sf.visitedFuncs[f] = true
+		return allReturnsMention(sf, sf.cg.PackageOf(f), decl, target)
+	}
+	return false
+}
+
+// assignedSources collects every right-hand side assigned to v inside
+// scope (including its := definition and var declaration).
+func assignedSources(info *types.Info, scope *ast.BlockStmt, v *types.Var) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if info.Defs[id] == v || info.Uses[id] == v {
+					out = append(out, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				if info.Defs[name] == v {
+					out = append(out, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// allReturnsMention reports whether every return statement of decl
+// returns an expression mentioning target (and there is at least one).
+func allReturnsMention(sf *stringFlow, pkg *Package, decl *ast.FuncDecl, target types.Object) bool {
+	if pkg == nil {
+		return false
+	}
+	found := false
+	ok := true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet || !ok {
+			return !isRet
+		}
+		if len(ret.Results) == 0 {
+			ok = false
+			return false
+		}
+		found = true
+		mentioned := false
+		for _, res := range ret.Results {
+			if sf.mentions(pkg, decl.Body, res, target) {
+				mentioned = true
+				break
+			}
+		}
+		if !mentioned {
+			ok = false
+		}
+		return true
+	})
+	return found && ok
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// analyzerEnvelope enforces the typed error envelope in
+// internal/service: every error response must flow through the one
+// function that builds ErrorData (fail, which failCompute/failStore
+// wrap), so error bodies always carry the stable machine-readable code
+// the API contract promises. Bypasses are exactly what the rule flags:
+//
+//   - http.Error writes a text/plain body with no envelope at all;
+//   - w.WriteHeader with a constant status >= 400 (or a status the
+//     checker cannot prove < 400) commits an error response before any
+//     envelope is marshaled;
+//   - a raw w.Write whose results are dropped loses the short-write
+//     error the service's write() helper exists to count.
+//
+// The blessed writer is derived from source, not named: any function in
+// the package whose body builds an ErrorData composite literal is the
+// envelope writer and may use the raw primitives. Methods on types that
+// embed http.ResponseWriter (the statusWriter instrumentation wrapper)
+// are exempt for WriteHeader forwarding, which is their whole job.
+func analyzerEnvelope() *Analyzer {
+	return &Analyzer{
+		Name: "envelope",
+		Doc:  "service error responses go through the typed envelope (fail/failCompute/failStore), never raw http.Error/WriteHeader/Write",
+		Run:  runEnvelope,
+	}
+}
+
+func runEnvelope(prog *Program, pkg *Package) []Finding {
+	if !strings.HasPrefix(pkg.Path, prog.ModulePath+"/internal/service") {
+		return nil
+	}
+	// ErrorData must be declared in the package for the rule to have an
+	// envelope to enforce.
+	if _, ok := pkg.Types.Scope().Lookup("ErrorData").(*types.TypeName); !ok {
+		return nil
+	}
+	var out []Finding
+	for _, decl := range enclosingFuncDecls(pkg) {
+		if buildsErrorData(pkg, decl) {
+			continue // the blessed envelope writer
+		}
+		wrapper := isResponseWriterWrapperMethod(pkg, decl)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			// A Write whose results land nowhere is a bare expression
+			// statement — the dropped-short-write shape.
+			if stmt, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok &&
+					isResponseWriterMethodCall(pkg.Info, call, "Write") {
+					out = append(out, Finding{
+						Pos:  prog.Fset.Position(call.Pos()),
+						Rule: "envelope",
+						Message: "raw ResponseWriter.Write with dropped results; use the write() helper " +
+							"(short-write errors are counted) or the envelope writer for error bodies",
+					})
+				}
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pkg.Info, call)
+			if f != nil && funcPkgPath(f) == "net/http" && f.Name() == "Error" {
+				out = append(out, Finding{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: "envelope",
+					Message: "http.Error writes an unversioned text body; route errors through the " +
+						"typed envelope writer (fail) so responses carry a stable error code",
+				})
+				return true
+			}
+			if !isResponseWriterMethodCall(pkg.Info, call, "WriteHeader") {
+				return true
+			}
+			if wrapper {
+				return true // statusWriter forwarding
+			}
+			if status, known := constantInt(pkg.Info, call.Args); known && status < 400 {
+				return true // provably a success status
+			}
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(call.Pos()),
+				Rule: "envelope",
+				Message: "WriteHeader with a status not provably < 400 outside the envelope writer; " +
+					"error statuses must come from fail so the body carries ErrorData",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// buildsErrorData reports whether decl's body constructs an ErrorData
+// composite literal of the analyzed package.
+func buildsErrorData(pkg *Package, decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[lit]; ok && isNamedType(tv.Type, pkg.Path, "ErrorData") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isResponseWriterWrapperMethod reports whether decl is a method on a
+// struct that embeds http.ResponseWriter — the instrumentation-wrapper
+// shape whose WriteHeader forwarding is its contract.
+func isResponseWriterWrapperMethod(pkg *Package, decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return false
+	}
+	named := namedOf(pkg.Info.TypeOf(decl.Recv.List[0].Type))
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && isNamedType(f.Type(), "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+// isResponseWriterMethodCall reports whether call invokes the named
+// method on a value whose type is (or embeds, via field selection)
+// net/http.ResponseWriter.
+func isResponseWriterMethodCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if isNamedType(info.TypeOf(sel.X), "net/http", "ResponseWriter") {
+		return true
+	}
+	// Concrete wrapper (e.g. *statusWriter): the method object's origin
+	// is the embedded interface's method.
+	recv := f.Type().(*types.Signature).Recv()
+	return recv != nil && isNamedType(recv.Type(), "net/http", "ResponseWriter")
+}
+
+// constantInt extracts the first argument's constant integer value.
+func constantInt(info *types.Info, args []ast.Expr) (int64, bool) {
+	if len(args) == 0 {
+		return 0, false
+	}
+	tv, ok := info.Types[ast.Unparen(args[0])]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}

@@ -49,12 +49,14 @@ func hotAtomicConverge(prog *Program, pkg *Package) []Finding {
 	if pkg.Path != prog.ModulePath+"/internal/bgp" {
 		return nil
 	}
-	decls := packageFuncDecls(pkg)
-	root := findMethodDecl(pkg, decls, "Computation", "Converge")
+	cg := prog.CallGraph()
+	root := cg.Method(pkg, "Computation", "Converge")
 	if root == nil {
 		return nil
 	}
-	hot := reachableFuncs(pkg, decls, root, map[string]bool{"flushObs": true})
+	// The hot set is the same-package Converge call tree; flushObs is the
+	// one sanctioned flush point and is excluded from the traversal.
+	hot := cg.Reachable(root, true, map[string]bool{"flushObs": true})
 	// Walk the hot set in source order so raw findings are deterministic
 	// before the driver's final sort.
 	ordered := make([]*types.Func, 0, len(hot))
@@ -82,64 +84,6 @@ func hotAtomicConverge(prog *Program, pkg *Package) []Finding {
 		})
 	}
 	return out
-}
-
-// packageFuncDecls maps every function/method object of the package to
-// its declaration.
-func packageFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
-	out := make(map[*types.Func]*ast.FuncDecl)
-	for _, file := range pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if f, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-				out[f] = fd
-			}
-		}
-	}
-	return out
-}
-
-// findMethodDecl locates recvType.name in the package.
-func findMethodDecl(pkg *Package, decls map[*types.Func]*ast.FuncDecl, recvType, name string) *types.Func {
-	for f := range decls {
-		if f.Name() != name {
-			continue
-		}
-		recv := f.Type().(*types.Signature).Recv()
-		if recv != nil && isNamedType(recv.Type(), pkg.Path, recvType) {
-			return f
-		}
-	}
-	return nil
-}
-
-// reachableFuncs walks the same-package static call graph from root,
-// skipping functions named in stop (and not descending into them).
-func reachableFuncs(pkg *Package, decls map[*types.Func]*ast.FuncDecl, root *types.Func, stop map[string]bool) map[*types.Func]*ast.FuncDecl {
-	hot := make(map[*types.Func]*ast.FuncDecl)
-	var visit func(f *types.Func)
-	visit = func(f *types.Func) {
-		decl, ok := decls[f]
-		if !ok || hot[f] != nil || stop[f.Name()] {
-			return
-		}
-		hot[f] = decl
-		ast.Inspect(decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if callee := calleeFunc(pkg.Info, call); callee != nil && funcPkgPath(callee) == pkg.Path {
-				visit(callee)
-			}
-			return true
-		})
-	}
-	visit(root)
-	return hot
 }
 
 // --- part 2: parallel worker bodies -----------------------------------

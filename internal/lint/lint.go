@@ -46,7 +46,50 @@ func Analyzers() []*Analyzer {
 		analyzerHotAtomic(),
 		analyzerCtxFlow(),
 		analyzerWallTime(),
+		analyzerFrozenFork(),
+		analyzerEnvelope(),
+		analyzerCacheKey(),
+		analyzerGoroLeak(),
 	}
+}
+
+// SelectAnalyzers filters the suite by rule id: include keeps only the
+// named rules (empty keeps all), exclude then drops its names. Unknown
+// ids and an empty selection are errors — a typoed -rules flag must
+// fail loudly, not silently lint nothing.
+func SelectAnalyzers(all []*Analyzer, include, exclude []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	keep := make(map[string]bool, len(all))
+	if len(include) == 0 {
+		for name := range byName {
+			keep[name] = true
+		}
+	}
+	for _, name := range include {
+		if byName[name] == nil {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", name, strings.Join(AnalyzerNames(), ", "))
+		}
+		keep[name] = true
+	}
+	for _, name := range exclude {
+		if byName[name] == nil {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", name, strings.Join(AnalyzerNames(), ", "))
+		}
+		delete(keep, name)
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("no rules selected (have %s)", strings.Join(AnalyzerNames(), ", "))
+	}
+	out := make([]*Analyzer, 0, len(keep))
+	for _, a := range all { // preserve registry order
+		if keep[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 // AnalyzerNames returns the rule ids of the full suite, sorted.
@@ -201,15 +244,24 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	case *ast.SelectorExpr:
 		f, _ := info.Uses[fun.Sel].(*types.Func)
 		return f
-	case *ast.IndexExpr: // instantiated generic: parallel.Map[T, R](...)
-		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
-			f, _ := info.Uses[id].(*types.Func)
-			return f
-		}
-		if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
-			f, _ := info.Uses[sel.Sel].(*types.Func)
-			return f
-		}
+	case *ast.IndexExpr: // instantiated generic, one type arg: Pool[T](...)
+		return instantiatedFunc(info, fun.X)
+	case *ast.IndexListExpr: // instantiated generic, several: Map[T, R](...)
+		return instantiatedFunc(info, fun.X)
+	}
+	return nil
+}
+
+// instantiatedFunc resolves the function expression under an explicit
+// generic instantiation's index brackets.
+func instantiatedFunc(info *types.Info, x ast.Expr) *types.Func {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[x].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[x.Sel].(*types.Func)
+		return f
 	}
 	return nil
 }

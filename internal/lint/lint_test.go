@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -100,7 +101,7 @@ func TestFixtures(t *testing.T) {
 }
 
 // TestEveryAnalyzerHasFixtureCoverage guards against fixture bit-rot:
-// each of the five rules must have at least one positive marker and at
+// each of the nine rules must have at least one positive marker and at
 // least one suppression in the fixture tree.
 func TestEveryAnalyzerHasFixtureCoverage(t *testing.T) {
 	prog := loadFixture(t)
@@ -169,6 +170,131 @@ func TestSealedMutatorSetIsDerived(t *testing.T) {
 	}
 }
 
+// TestFrozenMutatorSetIsDerived checks that frozenfork derives its
+// mutator set from the guard pattern in source (frozen-field read +
+// panic, unblessed adj-in writes), not a hardcoded method list: the
+// fixture's Announce/Withdraw carry the guard and stomp writes adjIn
+// without consulting sharedRow, while Freeze/Fork/deliver stay out.
+func TestFrozenMutatorSetIsDerived(t *testing.T) {
+	prog := loadFixture(t)
+	got := FrozenMutatorNames(prog)
+	want := []string{"Announce", "Withdraw", "stomp"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("fixture frozen mutator set = %v, want %v", got, want)
+	}
+}
+
+// TestSelectAnalyzers covers the -rules/-exclude-rules surface: include
+// keeps registry order, exclude subtracts, unknown ids and an empty
+// selection fail.
+func TestSelectAnalyzers(t *testing.T) {
+	all := Analyzers()
+	sub, err := SelectAnalyzers(all, []string{"walltime", "frozenfork"}, nil)
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if len(sub) != 2 || sub[0].Name != "walltime" || sub[1].Name != "frozenfork" {
+		t.Fatalf("include selection = %v, want [walltime frozenfork] in registry order", analyzerNamesOf(sub))
+	}
+	sub, err = SelectAnalyzers(all, nil, []string{"hotatomic"})
+	if err != nil {
+		t.Fatalf("exclude: %v", err)
+	}
+	if len(sub) != len(all)-1 {
+		t.Fatalf("exclude left %d rules, want %d", len(sub), len(all)-1)
+	}
+	for _, a := range sub {
+		if a.Name == "hotatomic" {
+			t.Fatal("excluded rule still selected")
+		}
+	}
+	if _, err := SelectAnalyzers(all, []string{"nosuchrule"}, nil); err == nil {
+		t.Fatal("unknown include rule did not error")
+	}
+	if _, err := SelectAnalyzers(all, nil, []string{"nosuchrule"}); err == nil {
+		t.Fatal("unknown exclude rule did not error")
+	}
+	if _, err := SelectAnalyzers(all, []string{"walltime"}, []string{"walltime"}); err == nil {
+		t.Fatal("empty selection did not error")
+	}
+}
+
+func analyzerNamesOf(as []*Analyzer) []string {
+	out := make([]string, 0, len(as))
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// TestLoaderGenericsAndAliases pins the loader on the multi-file
+// generics/alias fixture package: both files load, the alias and
+// generic declarations resolve, and calleeFunc resolves the explicit
+// two-type-argument instantiation (IndexListExpr) so interprocedural
+// rules see through generic call edges.
+func TestLoaderGenericsAndAliases(t *testing.T) {
+	prog := loadFixture(t)
+	pkg := prog.Package("routelab/fix/loader")
+	if pkg == nil {
+		t.Fatal("fixture package routelab/fix/loader not loaded")
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (a.go, b.go)", len(pkg.Files))
+	}
+	scope := pkg.Types.Scope()
+	row, ok := scope.Lookup("Row").(*types.TypeName)
+	if !ok || !row.IsAlias() {
+		t.Fatalf("Row = %v, want a type alias", scope.Lookup("Row"))
+	}
+	intPool, ok := scope.Lookup("IntPool").(*types.TypeName)
+	if !ok || !intPool.IsAlias() {
+		t.Fatalf("IntPool = %v, want an alias of a generic instantiation", scope.Lookup("IntPool"))
+	}
+	pool, ok := scope.Lookup("Pool").(*types.TypeName)
+	if !ok {
+		t.Fatal("Pool not found")
+	}
+	named, ok := pool.Type().(*types.Named)
+	if !ok || named.TypeParams().Len() != 1 {
+		t.Fatalf("Pool = %v, want a generic named type with one type parameter", pool.Type())
+	}
+	// The explicit instantiation Map[int, int](...) must resolve to the
+	// generic Map both via calleeFunc and in the call graph.
+	cg := prog.CallGraph()
+	squares, ok := scope.Lookup("Squares").(*types.Func)
+	if !ok {
+		t.Fatal("Squares not found")
+	}
+	found := false
+	for _, callee := range cg.Callees(squares) {
+		if callee.Name() == "Map" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("call graph misses Squares -> Map (IndexListExpr instantiation); callees = %v", cg.Callees(squares))
+	}
+	resolved := false
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, isIdx := call.Fun.(*ast.IndexListExpr); !isIdx {
+				return true
+			}
+			if f := calleeFunc(pkg.Info, call); f != nil && f.Name() == "Map" {
+				resolved = true
+			}
+			return true
+		})
+	}
+	if !resolved {
+		t.Fatal("calleeFunc did not resolve the IndexListExpr instantiation of Map")
+	}
+}
+
 // TestRunIsDeterministic re-runs the suite and requires byte-identical
 // finding lists — the tool that proves determinism must itself be
 // deterministic.
@@ -213,7 +339,8 @@ func TestRepoIsClean(t *testing.T) {
 // TestAnalyzerNamesStable pins the public rule-id surface: DESIGN.md,
 // CI, and //lint:allow comments all reference these ids.
 func TestAnalyzerNamesStable(t *testing.T) {
-	want := []string{"ctxflow", "hotatomic", "maporder", "sealedmut", "walltime"}
+	want := []string{"cachekey", "ctxflow", "envelope", "frozenfork", "goroleak",
+		"hotatomic", "maporder", "sealedmut", "walltime"}
 	got := AnalyzerNames()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("analyzer names = %v, want %v", got, want)

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package of the analyzed module.
@@ -49,6 +50,18 @@ type Program struct {
 	Root       string
 	Packages   []*Package // sorted by Path
 	byPath     map[string]*Package
+
+	// cgOnce/cg lazily cache the module-wide call graph so the
+	// interprocedural analyzers (frozenfork, cachekey, goroleak) share
+	// one build per Run instead of re-walking every body per package.
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	// ffOnce/ff cache the frozenfork fact tables (derived sink set,
+	// frozen-returning functions, mutated-parameter fixpoint), which are
+	// module-wide and identical for every analyzed package.
+	ffOnce sync.Once
+	ff     *frozenFacts
 }
 
 // Package returns the loaded package with the given import path, or nil.

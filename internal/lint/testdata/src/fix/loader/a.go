@@ -1,0 +1,22 @@
+// Package loader exercises the lint loader on a multi-file package
+// using generics and type aliases — the internal/spec and
+// internal/whatif code shapes the loader must type-check faithfully.
+// TestLoaderGenericsAndAliases pins resolution of the declarations and
+// the instantiated call edges.
+package loader
+
+// Pool is a generic container (one type parameter).
+type Pool[T any] struct{ items []T }
+
+func (p *Pool[T]) Put(v T)  { p.items = append(p.items, v) }
+func (p *Pool[T]) Len() int { return len(p.items) }
+
+// Map is a two-type-parameter generic function; explicit instantiation
+// produces the IndexListExpr call shape calleeFunc must resolve.
+func Map[T, R any](in []T, fn func(T) R) []R {
+	out := make([]R, 0, len(in))
+	for _, v := range in {
+		out = append(out, fn(v))
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package loader
+
+// Row is a plain type alias; IntPool aliases a generic instantiation.
+type Row = map[string]int
+
+type IntPool = Pool[int]
+
+// Squares instantiates Map explicitly (an IndexListExpr callee).
+func Squares(in []int) []int {
+	return Map[int, int](in, func(v int) int { return v * v })
+}
+
+// Fill drives the aliases and the generic method set together across
+// the file boundary.
+func Fill(p *IntPool, rows Row) int {
+	p.Put(rows["a"])
+	return p.Len()
+}

@@ -1,0 +1,89 @@
+// frozen.go is the frozenfork fixture: the COW discipline (Freeze,
+// Fork, guarded mutators, blessed and unblessed adj-in writers) plus
+// positive, negative, and suppressed use sites.
+package bgp
+
+// Freeze marks the computation immutable (plain-bool form of the real
+// engine's atomic flag; the analyzer derives freezers from the field
+// write, not the type).
+func (c *Computation) Freeze() { c.frozen = true }
+
+// Fork freezes the parent and returns a mutable child — a freezer for
+// its receiver, and NOT frozen-returning (the child is fresh).
+func (c *Computation) Fork() *Computation {
+	c.Freeze()
+	return &Computation{n: c.n}
+}
+
+// Withdraw is the second guarded mutator.
+func (c *Computation) Withdraw() {
+	if c.frozen {
+		panic("bgp: Withdraw on a frozen Computation")
+	}
+	c.pending--
+}
+
+// deliver is the blessed adj-in writer: it consults the sharedRow COW
+// bitmap before writing, so it is NOT a derived mutator.
+func (c *Computation) deliver(i, v int) {
+	if c.sharedRow[i] {
+		row := make([]int, len(c.adjIn[i]))
+		copy(row, c.adjIn[i])
+		c.adjIn[i] = row
+		c.sharedRow[i] = false
+	}
+	c.adjIn[i][0] = v
+}
+
+// stomp writes adj-in rows without consulting sharedRow: an unblessed
+// writer the analyzer derives as a mutator.
+func (c *Computation) stomp(i, v int) {
+	c.adjIn[i][0] = v
+}
+
+// badDirect mutates after an explicit Freeze.
+func badDirect() {
+	c := &Computation{}
+	c.Freeze()
+	c.Announce() //lint:want frozenfork
+}
+
+// badAfterFork mutates the parent a Fork froze; the fork child itself
+// stays legal (negative case).
+func badAfterFork() {
+	c := &Computation{}
+	kid := c.Fork()
+	c.Withdraw() //lint:want frozenfork
+	kid.Announce()
+}
+
+// badStomp reaches the unblessed adj-in writer on a frozen value.
+func badStomp() {
+	c := &Computation{}
+	c.Freeze()
+	c.stomp(0, 1) //lint:want frozenfork
+}
+
+// goodForkMutate is the sanctioned pattern: freeze the base, mutate a
+// fork (negative case).
+func goodForkMutate() {
+	c := &Computation{}
+	c.Freeze()
+	f := c.Fork()
+	f.Announce()
+	c.deliver(0, 1) // blessed writer: no finding even on the frozen base
+}
+
+// goodBeforeFreeze mutates before freezing — order matters (negative).
+func goodBeforeFreeze() {
+	c := &Computation{}
+	c.Announce()
+	c.Freeze()
+}
+
+// allowedMutate demonstrates suppression on a frozenfork finding.
+func allowedMutate() {
+	c := &Computation{}
+	c.Freeze()
+	c.Announce() //lint:allow frozenfork fixture demonstrates suppression
+}

@@ -1,0 +1,54 @@
+// Package peering is the cross-package frozenfork fixture: a
+// frozen-returning base builder (the AnycastBase shape) and campaign
+// helpers that forward computations into mutating positions, proving
+// the interprocedural halves of the rule — frozen-return propagation
+// and the mutated-parameter fixpoint.
+package peering
+
+import "routelab/internal/bgp"
+
+// Base builds, freezes, and memoizes-by-contract a computation: the
+// analyzer derives it as frozen-returning (it returns a value it froze).
+func Base() *bgp.Computation {
+	c := &bgp.Computation{}
+	c.Announce()
+	c.Freeze()
+	return c
+}
+
+// mutate reaches bgp.Announce through its parameter, so the fixpoint
+// marks its position 0 as mutating.
+func mutate(c *bgp.Computation) {
+	c.Announce()
+}
+
+// inspect only reads; its parameter is not a mutating position.
+func inspect(c *bgp.Computation) bool {
+	return c != nil
+}
+
+// BadCampaign forwards a frozen base into a mutating position.
+func BadCampaign() {
+	base := Base()
+	mutate(base) //lint:want frozenfork
+}
+
+// BadInline passes the frozen result directly.
+func BadInline() {
+	mutate(Base()) //lint:want frozenfork
+}
+
+// GoodCampaign mutates a fork of the frozen base and merely inspects
+// the base itself (negative cases for both propagation halves).
+func GoodCampaign() {
+	base := Base()
+	mutate(base.Fork())
+	inspect(base)
+}
+
+// AllowedCampaign demonstrates suppression on the interprocedural form.
+func AllowedCampaign() {
+	base := Base()
+	//lint:allow frozenfork fixture demonstrates suppression
+	mutate(base)
+}

@@ -1,0 +1,57 @@
+// cachekey.go is the cachekey fixture: a coalescing cache, a tenant
+// (id + cache fields — the shape the analyzer derives), and do calls
+// whose keys are/aren't provably scenario-namespaced.
+package service
+
+type cache struct{ m map[string][]byte }
+
+// do is the cache's single entry point; the analyzer finds the string
+// key parameter by type.
+func (c *cache) do(key string, fill func() []byte) []byte {
+	if b, ok := c.m[key]; ok {
+		return b
+	}
+	b := fill()
+	c.m[key] = b
+	return b
+}
+
+// tenant is the per-scenario server shape: a string id field plus a
+// cache field mark it as the namespace source.
+type tenant struct {
+	id string
+	c  *cache
+}
+
+// key is the namespacing helper: every return mentions the id field.
+func (t *tenant) key(k string) string { return t.id + "|" + k }
+
+// computeDirect namespaces inline (negative case).
+func (t *tenant) computeDirect(k string) []byte {
+	return t.c.do(t.id+"|"+k, func() []byte { return nil })
+}
+
+// computeVar namespaces through a local variable (negative case).
+func (t *tenant) computeVar(k string) []byte {
+	key := t.id + "|" + k
+	return t.c.do(key, func() []byte { return nil })
+}
+
+// computeHelper namespaces through the helper (negative case: the
+// string-flow proof follows in-module calls).
+func (t *tenant) computeHelper(k string) []byte {
+	return t.c.do(t.key(k), func() []byte { return nil })
+}
+
+// computeBad hands the raw request key to the shared cache — the PR 7
+// cross-scenario bug shape.
+func (t *tenant) computeBad(k string) []byte {
+	return t.c.do(k, func() []byte { return nil }) //lint:want cachekey
+}
+
+// computeAllowed demonstrates suppression for a deliberately
+// scenario-global entry.
+func (t *tenant) computeAllowed(k string) []byte {
+	//lint:allow cachekey fixture demonstrates suppression
+	return t.c.do("global|"+k, func() []byte { return nil })
+}

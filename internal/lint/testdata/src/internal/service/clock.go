@@ -1,0 +1,9 @@
+// clock.go proves the walltime scope extension to internal/service:
+// cached response bodies must not depend on wall-clock reads.
+package service
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() //lint:want walltime
+}

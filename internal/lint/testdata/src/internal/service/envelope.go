@@ -1,0 +1,68 @@
+// envelope.go is the envelope fixture: the typed error payload, the
+// one blessed writer that builds it, the instrumentation wrapper, and
+// handlers that do/don't bypass the envelope.
+package service
+
+import "net/http"
+
+// ErrorData mirrors the real API's error payload; building it is what
+// marks a function as the blessed envelope writer.
+type ErrorData struct {
+	Error string
+	Code  string
+}
+
+// fail is the envelope writer: it builds ErrorData, so its raw
+// WriteHeader/Write are sanctioned.
+func fail(w http.ResponseWriter, status int, msg, code string) {
+	e := ErrorData{Error: msg, Code: code}
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(e.Code + ": " + e.Error))
+}
+
+// statusWriter is the instrumentation-wrapper shape: embedding
+// http.ResponseWriter exempts its WriteHeader forwarding.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// handleOK commits a provable success status (negative case).
+func handleOK(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleGood routes its error through the envelope writer (negative).
+func handleGood(w http.ResponseWriter, err error) {
+	if err != nil {
+		fail(w, http.StatusBadRequest, err.Error(), "bad_param")
+	}
+}
+
+// handleBadError bypasses the envelope with http.Error.
+func handleBadError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) //lint:want envelope
+}
+
+// handleBadHeader commits error statuses raw: one constant, one the
+// checker cannot prove < 400.
+func handleBadHeader(w http.ResponseWriter, status int) {
+	w.WriteHeader(http.StatusBadGateway) //lint:want envelope
+	w.WriteHeader(status)                //lint:want envelope
+}
+
+// handleBadWrite drops a raw Write's results.
+func handleBadWrite(w http.ResponseWriter) {
+	w.Write([]byte("oops")) //lint:want envelope
+}
+
+// handleAllowed demonstrates suppression.
+func handleAllowed(w http.ResponseWriter) {
+	//lint:allow envelope fixture demonstrates suppression
+	http.Error(w, "legacy", http.StatusGone)
+}

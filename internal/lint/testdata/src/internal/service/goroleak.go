@@ -1,0 +1,68 @@
+// goroleak.go is the goroleak fixture: spawns that are provably
+// stoppable (ctx, done channel, WaitGroup join) and spawns that would
+// outlive shutdown/drain.
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// pump has no stop proof of its own; spawning it is the leak shape.
+func pump(ch chan int) {
+	ch <- 1
+}
+
+// spawnBadNamed resolves pump through the call graph and flags it.
+func spawnBadNamed(ch chan int) {
+	go pump(ch) //lint:want goroleak
+}
+
+// spawnBadClosure is the literal form of the same leak.
+func spawnBadClosure(ch chan int) {
+	go func() { //lint:want goroleak
+		ch <- 1
+	}()
+}
+
+// spawnBadValue spawns through a function value the checker cannot
+// resolve — flagged, stop-safety must be locally evident.
+func spawnBadValue(work func()) {
+	go work() //lint:want goroleak
+}
+
+// spawnCtx consults its context (negative case).
+func spawnCtx(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case ch <- 1:
+		}
+	}()
+}
+
+// spawnDone selects on a stop channel (negative case).
+func spawnDone(stop chan struct{}, ch chan int) {
+	go func() {
+		select {
+		case <-stop:
+		case ch <- 1:
+		}
+	}()
+}
+
+// spawnJoined is joined by a WaitGroup the drain path waits on
+// (negative case).
+func spawnJoined(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+}
+
+// spawnAllowed demonstrates suppression.
+func spawnAllowed(ch chan int) {
+	//lint:allow goroleak fixture demonstrates suppression
+	go pump(ch)
+}

@@ -1,0 +1,29 @@
+// Package whatif proves the walltime scope extension: what-if diffs
+// are golden-backed, so wall-clock reads and globally seeded
+// randomness are banned; seeded *rand.Rand stays legal.
+package whatif
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() int64 {
+	return rand.Int63() //lint:want walltime
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) //lint:want walltime
+}
+
+// seeded is the sanctioned determinism idiom (negative case).
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// allowedClock demonstrates suppression in the new scope.
+func allowedClock() time.Time {
+	//lint:allow walltime fixture demonstrates suppression
+	return time.Now()
+}

@@ -11,10 +11,12 @@ import (
 // the globally seeded math/rand — inside the packages whose outputs
 // goldens pin byte-for-byte: internal/experiments, internal/classify,
 // internal/inference, internal/gaorexford (the 14 experiment goldens),
-// and internal/spec (the scenarios/golden corpus dumps). A time.Now()
-// or rand.Intn() there would not fail any test immediately; it would
-// silently make golden refreshes unreproducible, which is the failure
-// mode the seeded-run contract exists to prevent.
+// internal/spec (the scenarios/golden corpus dumps), internal/whatif
+// (golden-backed diffs), and internal/service (deterministic cached
+// response bodies). A time.Now() or rand.Intn() there would not fail
+// any test immediately; it would silently make golden refreshes
+// unreproducible — or cached bodies history-dependent — which is the
+// failure mode the seeded-run contract exists to prevent.
 //
 // Allowed: constructing scenario-seeded sources (rand.New,
 // rand.NewSource, and every other rand.New* constructor) and calling
@@ -23,19 +25,24 @@ import (
 func analyzerWallTime() *Analyzer {
 	return &Analyzer{
 		Name: "walltime",
-		Doc:  "no wall-clock or globally seeded randomness in golden-backed packages (experiments, classify, inference, gaorexford, spec)",
+		Doc:  "no wall-clock or globally seeded randomness in golden-backed packages (experiments, classify, inference, gaorexford, spec, whatif, service)",
 		Run:  runWallTime,
 	}
 }
 
 // wallTimeScopes are the module-relative package prefixes the rule
-// covers (a prefix also covers subpackages).
+// covers (a prefix also covers subpackages). internal/whatif and
+// internal/service joined the set when their outputs became
+// golden-backed and cache-keyed respectively: a wall-clock read there
+// would skew what-if goldens or poison deterministic cached bodies.
 var wallTimeScopes = []string{
 	"internal/experiments",
 	"internal/classify",
 	"internal/inference",
 	"internal/gaorexford",
 	"internal/spec",
+	"internal/whatif",
+	"internal/service",
 }
 
 // timeFuncs are the wall-clock reads the rule bans.

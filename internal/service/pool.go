@@ -1,6 +1,8 @@
 package service
 
 import (
+	"sync"
+
 	"routelab/internal/bgp"
 	"routelab/internal/obs"
 )
@@ -13,9 +15,17 @@ import (
 // returned. A drained pool falls back to forking inline, which is
 // always correct (every fork of a frozen parent is equivalent), just
 // slower; the service.forkpool.{hits,misses} counters expose the ratio.
+//
+// Refill goroutines are joined: every spawn registers with wg under mu,
+// and drain flips stopped before waiting, so no refill outlives a
+// tenant's eviction or the server's shutdown (the goroleak contract).
 type forkPool struct {
 	base *bgp.Computation // frozen; Fork is safe from any goroutine
 	ch   chan *bgp.Computation
+
+	mu      sync.Mutex
+	stopped bool
+	wg      sync.WaitGroup
 }
 
 // defaultForkPool is the per-prefix pool depth when Config.ForkPool is
@@ -40,7 +50,7 @@ func (p *forkPool) get() *bgp.Computation {
 	select {
 	case c := <-p.ch:
 		obs.Inc("service.forkpool.hits")
-		go p.refill()
+		p.spawnRefill()
 		return c
 	default:
 		obs.Inc("service.forkpool.misses")
@@ -48,11 +58,37 @@ func (p *forkPool) get() *bgp.Computation {
 	}
 }
 
+// spawnRefill starts one tracked refill goroutine. The wg.Add happens
+// under mu and before any drain observes stopped, so drain's Wait is
+// never concurrent with an Add from zero — a drained pool simply stops
+// restocking and serves get() by forking inline.
+func (p *forkPool) spawnRefill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.wg.Add(1)
+	go p.refill()
+}
+
 // refill restocks one warm fork, dropping it if the pool filled back up
-// in the meantime (another refill won the race).
+// in the meantime (another refill won the race). Bounded work plus the
+// WaitGroup join keeps it inside the goroleak shutdown contract.
 func (p *forkPool) refill() {
+	defer p.wg.Done()
 	select {
 	case p.ch <- p.base.Fork():
 	default:
 	}
+}
+
+// drain stops the refill machinery and joins every outstanding refill
+// goroutine. The pool stays usable — get() forks inline afterwards —
+// so drain is safe to call with requests in flight, and idempotent.
+func (p *forkPool) drain() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.wg.Wait()
 }

@@ -151,6 +151,18 @@ func (srv *Server) bind(h func(*Server, http.ResponseWriter, *http.Request)) htt
 // Handler returns the service's http.Handler (the /v1 API).
 func (srv *Server) Handler() http.Handler { return srv.mux }
 
+// Close releases the server's background machinery: every per-prefix
+// fork pool is drained and its refill goroutines joined, so nothing
+// outlives the tenant. In-flight requests keep working — a drained
+// pool forks inline — which makes Close safe both after an HTTP drain
+// (cmd/routelabd shutdown) and on store eviction while the fleet keeps
+// serving.
+func (srv *Server) Close() {
+	for _, p := range srv.pools {
+		p.drain()
+	}
+}
+
 // instrument registers an endpoint on mux under its obs
 // instrumentation: service.requests.<name> / service.errors.<name>
 // counters and a service/<name> latency timer. Shared by the

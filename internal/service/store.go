@@ -210,6 +210,18 @@ func (st *Store) BuiltLen() int {
 	return st.order.Len()
 }
 
+// Close drains every resident tenant's background machinery (fork-pool
+// refill goroutines); call it after the HTTP server has drained so a
+// fleet shutdown leaves no goroutine behind. Tenants stay usable —
+// Close only stops their pools from restocking.
+func (st *Store) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for el := st.order.Front(); el != nil; el = el.Next() {
+		el.Value.(*builtEntry).tenant.Close()
+	}
+}
+
 // Get returns the tenant serving id, building the sealed scenario on
 // demand. Concurrent calls for the same cold id share one build
 // (singleflight); calls for a resident id are LRU hits. The ctx bounds
@@ -298,6 +310,11 @@ func (st *Store) insert(id string, tenant *Server) {
 		// deterministic, so dropping them only costs recomputation, and
 		// keeping them would hold the evicted world's bodies in memory.
 		st.cache.removePrefix(evicted.id + "|")
+		// Join the evicted tenant's fork-pool refills so no goroutine
+		// keeps the evicted world's forks alive. Refills are bounded (one
+		// Fork plus a non-blocking send) and never take st.mu, so waiting
+		// under the lock is cheap and deadlock-free.
+		evicted.tenant.Close()
 		obs.Inc("service.scenario.evictions")
 	}
 	obs.SetGauge("service.scenario.built", float64(st.order.Len()))
