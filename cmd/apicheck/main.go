@@ -7,7 +7,9 @@
 // instead (the delta-XOR-deltas contract, known kinds, the batch cap),
 // so CI can lint both directions of the POST /v1/whatif exchange. A
 // response envelope of kind "whatif" additionally has its payload's
-// internal consistency verified (result counts, diff arithmetic).
+// internal consistency verified (result counts, diff arithmetic), and
+// kind "build" (the build-progress endpoint) has its state machine
+// checked (state enum, percent/phase agreement).
 //
 // Usage:
 //
@@ -47,13 +49,22 @@ func check(name string, r io.Reader) error {
 	if err := e.Validate(); err != nil {
 		return fmt.Errorf("%s: %v", name, err)
 	}
-	if e.Kind == "whatif" {
+	switch e.Kind {
+	case "whatif":
 		var data service.WhatIfData
 		if err := json.Unmarshal(e.Data, &data); err != nil {
 			return fmt.Errorf("%s: whatif data: %v", name, err)
 		}
 		if err := data.Validate(); err != nil {
 			return fmt.Errorf("%s: whatif data: %v", name, err)
+		}
+	case "build":
+		var data service.BuildProgressData
+		if err := json.Unmarshal(e.Data, &data); err != nil {
+			return fmt.Errorf("%s: build data: %v", name, err)
+		}
+		if err := data.Validate(); err != nil {
+			return fmt.Errorf("%s: build data: %v", name, err)
 		}
 	}
 	fmt.Printf("%s: ok (%s, kind %s, %d data bytes)\n", name, e.Schema, e.Kind, len(e.Data))

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"routelab/internal/service"
+)
+
+// golden reads the committed bucketed emission: 51 requests over 3 s
+// from 4 clients, 1 error, 10 clean sheds, three 1 s buckets whose
+// p99s climb 3.9 ms → 59 ms → 90 ms (the shape the skew gate exists
+// to catch).
+func golden(t *testing.T) *service.LoadReport {
+	t.Helper()
+	rep, err := service.ReadLoadReport("testdata/LOAD_golden.json")
+	if err != nil {
+		t.Fatalf("golden fixture unreadable: %v", err)
+	}
+	return &rep
+}
+
+func TestGoldenFixtureShape(t *testing.T) {
+	rep := golden(t)
+	if rep.Requests != 51 || rep.Errors != 1 || rep.Sheds != 10 {
+		t.Fatalf("fixture drifted: requests/errors/sheds = %d/%d/%d", rep.Requests, rep.Errors, rep.Sheds)
+	}
+	if rep.BucketNS != 1e9 || len(rep.Buckets) != 3 {
+		t.Fatalf("fixture buckets drifted: %d ns × %d", rep.BucketNS, len(rep.Buckets))
+	}
+}
+
+func TestEvalGatesPass(t *testing.T) {
+	rep := golden(t)
+	g := gates{
+		maxErrorRate:  2,  // 1/51 ≈ 1.96%
+		maxShedRate:   20, // 10/51 ≈ 19.6%
+		minSheds:      1,
+		maxP99:        time.Second,
+		minThroughput: 10, // 51/3 = 17 req/s
+		maxBucketSkew: 1,  // worst bucket p99 == run p99
+	}
+	if bad := evalGates(rep, g); len(bad) != 0 {
+		t.Errorf("healthy report failed gates: %v", bad)
+	}
+}
+
+func TestEvalGatesTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		g    gates
+		want string
+		n    int
+	}{
+		{"error rate", gates{maxErrorRate: 0, maxShedRate: 100}, "error rate", 1},
+		{"shed rate", gates{maxErrorRate: 2, maxShedRate: 10}, "shed rate", 1},
+		{"shed floor", gates{maxErrorRate: 2, maxShedRate: 100, minSheds: 11}, "BELOW floor 11", 1},
+		{"p99", gates{maxErrorRate: 2, maxShedRate: 100, maxP99: 50 * time.Millisecond}, "p99 latency", 1},
+		{"throughput", gates{maxErrorRate: 2, maxShedRate: 100, minThroughput: 20}, "throughput", 1},
+		// Skew 0.5 × 90 ms = 45 ms: the 59 ms and 90 ms buckets both trip.
+		{"bucket skew", gates{maxErrorRate: 2, maxShedRate: 100, maxBucketSkew: 0.5}, "latency shape regressed", 2},
+	}
+	for _, tc := range cases {
+		bad := evalGates(golden(t), tc.g)
+		if len(bad) != tc.n {
+			t.Errorf("%s: got %d violations %v, want %d", tc.name, len(bad), bad, tc.n)
+			continue
+		}
+		if !strings.Contains(bad[0], tc.want) {
+			t.Errorf("%s: violation %q should mention %q", tc.name, bad[0], tc.want)
+		}
+	}
+}
+
+// The shed floor must not trip on reports that shed nothing when the
+// gate is off — the plain load-smoke leg runs minSheds 0.
+func TestEvalGatesShedFloorOff(t *testing.T) {
+	rep := golden(t)
+	rep.Sheds = 0
+	rep.ShedRate = 0
+	if bad := evalGates(rep, gates{maxErrorRate: 2, maxShedRate: 100}); len(bad) != 0 {
+		t.Errorf("shed floor tripped while disabled: %v", bad)
+	}
+}
+
+// The skew gate needs buckets; an unbucketed emission passes it
+// vacuously rather than erroring.
+func TestEvalGatesSkewWithoutBuckets(t *testing.T) {
+	rep := golden(t)
+	rep.Buckets = nil
+	rep.BucketNS = 0
+	if bad := evalGates(rep, gates{maxErrorRate: 2, maxShedRate: 100, maxBucketSkew: 0.1}); len(bad) != 0 {
+		t.Errorf("skew gate tripped without buckets: %v", bad)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var sb strings.Builder
+	summarize(&sb, "testdata/LOAD_golden.json", golden(t))
+	out := sb.String()
+	for _, want := range []string{
+		"valid routelab-load/v1 emission",
+		"shed rate 19.61%",
+		"time buckets (1s wide)",
+		"whatif",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -24,7 +24,14 @@
 //	-addr ADDR          listen address (default localhost:8080)
 //	-scenario-dir DIR   serve a fleet: register every spec in DIR
 //	-max-scenarios N    sealed scenarios kept resident (default 4)
+//	-max-scenario-bytes N  resident-byte budget for sealed scenarios
+//	                    (0 = count budget; when set, -max-scenarios is ignored
+//	                    and eviction is by accounted bytes, LRU order)
 //	-max-builds N       concurrent scenario builds (default 1)
+//	-max-queued-builds N   callers allowed to queue for a build slot before
+//	                    new builds shed 429 (0 = unbounded queue)
+//	-max-queued-requests N callers allowed to queue on a tenant's admission
+//	                    gate before requests shed 429 (0 = unbounded queue)
 //	-spec PATH          build the world a declarative scenario spec
 //	                    describes (scenarios/*.yaml; see SCENARIOS.md)
 //	-overlay A,B        overlay names to apply on top of -spec, in order
@@ -85,7 +92,10 @@ func main() {
 		addr         = flag.String("addr", "localhost:8080", "listen address")
 		scenarioDir  = flag.String("scenario-dir", "", "serve a fleet: register every scenario spec in this directory")
 		maxScenarios = flag.Int("max-scenarios", 4, "sealed scenarios kept resident (fleet mode)")
+		maxScenBytes = flag.Int64("max-scenario-bytes", 0, "resident-byte budget for sealed scenarios; overrides -max-scenarios (fleet mode, 0 = off)")
 		maxBuilds    = flag.Int("max-builds", 1, "concurrent scenario builds (fleet mode)")
+		maxQBuilds   = flag.Int("max-queued-builds", 0, "build-queue depth before shedding 429 (fleet mode, 0 = unbounded)")
+		maxQRequests = flag.Int("max-queued-requests", 0, "admission-queue depth per scenario before shedding 429 (0 = unbounded)")
 		specPath     = flag.String("spec", "", "scenario spec file (YAML/JSON; see SCENARIOS.md)")
 		overlayList  = flag.String("overlay", "", "comma-separated overlay names to apply (requires -spec)")
 		seed         = flag.Int64("seed", 2015, "master seed")
@@ -110,10 +120,11 @@ func main() {
 	}
 
 	tenantCfg := service.Config{
-		MaxConcurrent:  *maxConc,
-		RequestTimeout: *reqTimeout,
-		CacheSize:      *cacheSize,
-		ForkPool:       *forkPool,
+		MaxConcurrent:     *maxConc,
+		MaxQueuedRequests: *maxQRequests,
+		RequestTimeout:    *reqTimeout,
+		CacheSize:         *cacheSize,
+		ForkPool:          *forkPool,
 	}
 
 	logf := scenario.Logf(nil)
@@ -228,11 +239,13 @@ func main() {
 	var closeServing func()
 	if *scenarioDir != "" {
 		store := service.NewStore(service.StoreConfig{
-			MaxScenarios: *maxScenarios,
-			MaxBuilds:    *maxBuilds,
-			CacheSize:    *cacheSize,
-			Tenant:       tenantCfg,
-			Logf:         logf,
+			MaxScenarios:     *maxScenarios,
+			MaxScenarioBytes: *maxScenBytes,
+			MaxBuilds:        *maxBuilds,
+			MaxQueuedBuilds:  *maxQBuilds,
+			CacheSize:        *cacheSize,
+			Tenant:           tenantCfg,
+			Logf:             logf,
 		})
 		n, err := store.RegisterDir(*scenarioDir)
 		if err != nil {

@@ -1,9 +1,10 @@
 // Command routeload drives a running routelabd fleet with N concurrent
 // clients over a mixed scenario/endpoint schedule and emits a
-// routelab-load/v1 report (throughput, p50/p90/p99 latency, error and
-// cache-hit rates, per-endpoint and per-scenario breakdowns) that
-// cmd/loadcheck validates and gates on — the serve-time counterpart of
-// the bench harness + cmd/benchcheck pair.
+// routelab-load/v1 report (throughput, p50/p90/p99 latency, time-
+// bucketed histograms, error/shed/cache rates, per-endpoint and
+// per-scenario breakdowns) that cmd/loadcheck validates and gates on —
+// the serve-time counterpart of the bench harness + cmd/benchcheck
+// pair.
 //
 // Usage:
 //
@@ -14,19 +15,44 @@
 //	-addr ADDR       routelabd address (default localhost:8080)
 //	-scenarios A,B   scenario ids to drive (default: every id the fleet
 //	                 lists — beware, that builds every registered world)
-//	-clients N       concurrent clients (default 8)
-//	-requests N      total request budget across all clients (default 200)
+//	-clients N       concurrent clients (default 8; sustained mode
+//	                 scales to thousands — the transport keeps one warm
+//	                 connection per client)
+//	-requests N      total request budget across all clients (default
+//	                 200; ignored when -duration is set)
+//	-duration D      sustained mode: every client loops the schedule
+//	                 until D elapses (0 = request-budget mode)
+//	-bucket D        time-bucket width for the latency histogram
+//	                 (default 1s; 0 disables bucketing)
+//	-spread N        vary the experiments endpoint's seed over N
+//	                 distinct values (0 = off). Concurrent requests to
+//	                 one URL coalesce server-side and coalesced waiters
+//	                 never shed; saturation legs set -spread so the
+//	                 schedule carries distinct cache keys and actually
+//	                 pressures the admission gate
+//	-cold A,B        scenario ids to drive WITHOUT warmup: only a
+//	                 healthz target each, so the first touch triggers
+//	                 the (slow) build during the measured run. With
+//	                 three or more cold ids and tight build gates the
+//	                 overflow must shed — the deterministic leg of the
+//	                 saturation smoke
 //	-timeout D       per-request client timeout (default 5m; first
 //	                 requests wait on scenario builds)
 //	-out PATH        write the routelab-load/v1 emission here
 //	                 (default LOAD_routelab.json; "" skips the file)
 //
-// The schedule is deterministic: request j targets scenario j mod S and
-// walks the endpoint mix in order, so two runs against the same fleet
-// issue the same requests in the same per-client order. Every response
-// body is validated against routelab-api/v1; a transport error, an
-// unexpected status, or an invalid envelope counts as an error in the
-// report (and loadcheck fails CI on any).
+// The schedule is deterministic: request j targets urls[j mod len] and
+// walks the endpoint mix in order. In request-budget mode jobs are
+// handed to clients in order; in sustained mode client c owns
+// positions c, c+N, c+2N, ... so two runs issue the same per-client
+// request sequences (only the stop point varies with the clock).
+// Every response body is validated against routelab-api/v1; a
+// transport error, an unexpected status, or an invalid envelope counts
+// as an error in the report (and loadcheck fails CI on any). A 429
+// whose envelope carries the "overloaded" code AND a Retry-After
+// header is a CLEAN SHED — counted separately, not an error — which is
+// how the saturation smoke distinguishes deliberate load shedding from
+// breakage.
 //
 // Warmup (one healthz per scenario to trigger the build, plus probe
 // requests to discover a live trace id and AS) happens before the
@@ -52,7 +78,11 @@ func main() {
 		addr      = flag.String("addr", "localhost:8080", "routelabd address")
 		scenarios = flag.String("scenarios", "", "comma-separated scenario ids (default: all registered)")
 		clients   = flag.Int("clients", 8, "concurrent clients")
-		requests  = flag.Int("requests", 200, "total request budget")
+		requests  = flag.Int("requests", 200, "total request budget (ignored with -duration)")
+		duration  = flag.Duration("duration", 0, "sustained mode: clients loop the schedule until this elapses")
+		bucket    = flag.Duration("bucket", time.Second, "time-bucket width for the latency histogram (0 = no buckets)")
+		spread    = flag.Int("spread", 0, "vary the experiments endpoint's seed over N distinct values (defeats response-cache coalescing; <=1 = off)")
+		cold      = flag.String("cold", "", "comma-separated scenario ids to drive WITHOUT warmup (healthz only; the first touch triggers the build)")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-request client timeout")
 		out       = flag.String("out", "LOAD_routelab.json", "write the routelab-load/v1 emission here (empty = skip)")
 	)
@@ -62,13 +92,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *clients < 1 || *requests < 1 {
-		fmt.Fprintln(os.Stderr, "routeload: -clients and -requests must be >= 1")
+	if *clients < 1 || (*duration <= 0 && *requests < 1) {
+		fmt.Fprintln(os.Stderr, "routeload: -clients and -requests (or -duration) must be >= 1")
 		os.Exit(2)
 	}
 
 	base := "http://" + *addr
-	client := &http.Client{Timeout: *timeout}
+	// Thousands of sustained clients must not churn sockets: size the
+	// idle pool to the client count so every client keeps one warm
+	// connection instead of racing the default (2 per host) and paying
+	// a TCP handshake per request.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = *clients
+	transport.MaxIdleConnsPerHost = *clients
+	client := &http.Client{Timeout: *timeout, Transport: transport}
 
 	ids := splitIDs(*scenarios)
 	if len(ids) == 0 {
@@ -79,8 +116,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "routeload: driving %d scenario(s) %v with %d clients, %d requests\n",
-		len(ids), ids, *clients, *requests)
+	if *duration > 0 {
+		fmt.Fprintf(os.Stderr, "routeload: driving %d scenario(s) %v with %d sustained clients for %v\n",
+			len(ids), ids, *clients, *duration)
+	} else {
+		fmt.Fprintf(os.Stderr, "routeload: driving %d scenario(s) %v with %d clients, %d requests\n",
+			len(ids), ids, *clients, *requests)
+	}
 
 	// Warmup: build every scenario and discover per-scenario request
 	// parameters before the clock starts.
@@ -93,12 +135,30 @@ func main() {
 		}
 		urls = append(urls, ts...)
 	}
+	// Cold scenarios skip warmup on purpose: their first healthz IS the
+	// load. Several cold ids touched concurrently pressure the build
+	// gate — with a tight -max-queued-builds the overflow surfaces as
+	// clean 429s, which is how the saturation smoke forces build
+	// shedding through the public API. Builds run ~seconds while
+	// requests arrive in milliseconds, so the pressure is machine-
+	// independent (unlike request-gate contention, which needs computes
+	// long enough to overlap).
+	for _, id := range splitIDs(*cold) {
+		ids = append(ids, id)
+		urls = append(urls, target{scenario: id, endpoint: "healthz",
+			url: base + "/v1/scenarios/" + id + "/healthz"})
+	}
 
-	samples := run(client, urls, ids, *clients, *requests)
+	var samples runResult
+	if *duration > 0 {
+		samples = runSustained(client, urls, *clients, *spread, *duration)
+	} else {
+		samples = run(client, urls, *clients, *spread, *requests)
+	}
 
 	rep := service.BuildLoadReport(
 		"routeload "+strings.Join(os.Args[1:], " "),
-		base, ids, *clients, samples.wallNS, samples.s)
+		base, ids, *clients, samples.wallNS, int64(*bucket), samples.s)
 	printSummary(rep)
 	if *out != "" {
 		if err := rep.WriteFile(*out); err != nil {
@@ -127,6 +187,23 @@ type target struct {
 	endpoint string
 	url      string
 	body     string
+	// seeded marks a target whose URL accepts a ?seed= override (the
+	// experiments endpoint). With -spread, at() rewrites the seed per
+	// schedule position so concurrent requests stop sharing a cache key.
+	seeded bool
+}
+
+// at materializes the target for schedule position j: with spread > 1
+// a seeded target gets a position-derived seed, so the request mix
+// stays deterministic (same j -> same URL) while defeating same-key
+// coalescing in the server's response cache. Saturation legs need this:
+// coalesced waiters deliberately never shed, so a fixed URL set can
+// absorb any client count without ever pressuring the admission gate.
+func (t target) at(j, spread int) target {
+	if spread > 1 && t.seeded {
+		t.url = fmt.Sprintf("%s?seed=%d", t.url, j%spread)
+	}
+	return t
 }
 
 // discoverScenarios asks the fleet for its registered ids.
@@ -202,7 +279,12 @@ func warmup(client *http.Client, base, id string) ([]target, error) {
 		{scenario: id, endpoint: "classify", url: classifyURL},
 		{scenario: id, endpoint: "as", url: prefix + "/as/" + as},
 		{scenario: id, endpoint: "alternates", url: prefix + "/alternates?target=" + as},
-		{scenario: id, endpoint: "experiments", url: prefix + "/experiments/table1"},
+		// figure1 (the replication centerpiece) is also the schedule's
+		// one heavyweight compute: saturation legs rely on it holding
+		// the admission gate long enough for a real queue to form even
+		// on single-core runners, where sub-millisecond computes never
+		// overlap and the gate would otherwise always look idle.
+		{scenario: id, endpoint: "experiments", url: prefix + "/experiments/figure1", seeded: true},
 		{scenario: id, endpoint: "whatif", url: prefix + "/whatif", body: whatifDoc},
 	}, nil
 }
@@ -217,12 +299,17 @@ func unmarshalData(env service.Envelope, kind string, v any) error {
 // fetch issues one GET and validates the envelope; returns the status
 // and the cache header.
 func fetch(client *http.Client, url string) (status int, cacheHdr string, err error) {
-	return do(client, target{url: url})
+	status, cacheHdr, _, err = do(client, target{url: url})
+	return status, cacheHdr, err
 }
 
 // do issues one scheduled request — GET, or POST when the target
-// carries a body — and validates the response envelope.
-func do(client *http.Client, t target) (status int, cacheHdr string, err error) {
+// carries a body — and validates the response envelope. shed reports a
+// clean shed: status 429 whose envelope carries the "overloaded" code
+// and whose response advertises Retry-After. A 429 without both is NOT
+// a shed — it stays an error, so a server that refuses without telling
+// clients when to come back fails the harness.
+func do(client *http.Client, t target) (status int, cacheHdr string, shed bool, err error) {
 	var resp *http.Response
 	if t.body != "" {
 		resp, err = client.Post(t.url, "application/json", strings.NewReader(t.body))
@@ -230,14 +317,28 @@ func do(client *http.Client, t target) (status int, cacheHdr string, err error) 
 		resp, err = client.Get(t.url)
 	}
 	if err != nil {
-		return 0, "", err
+		return 0, "", false, err
 	}
 	defer resp.Body.Close()
 	cacheHdr = resp.Header.Get(service.CacheHeader)
-	if _, err := service.ReadEnvelope(resp.Body); err != nil {
-		return resp.StatusCode, cacheHdr, fmt.Errorf("%s: %w", t.url, err)
+	env, err := service.ReadEnvelope(resp.Body)
+	if err != nil {
+		return resp.StatusCode, cacheHdr, false, fmt.Errorf("%s: %w", t.url, err)
 	}
-	return resp.StatusCode, cacheHdr, nil
+	if resp.StatusCode == http.StatusTooManyRequests {
+		var ed service.ErrorData
+		if jerr := json.Unmarshal(env.Data, &ed); jerr != nil {
+			return resp.StatusCode, cacheHdr, false, fmt.Errorf("%s: 429 payload: %w", t.url, jerr)
+		}
+		if ed.Code != service.CodeOverloaded {
+			return resp.StatusCode, cacheHdr, false, fmt.Errorf("%s: 429 with code %q, want %q", t.url, ed.Code, service.CodeOverloaded)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			return resp.StatusCode, cacheHdr, false, fmt.Errorf("%s: 429 without Retry-After", t.url)
+		}
+		return resp.StatusCode, cacheHdr, true, nil
+	}
+	return resp.StatusCode, cacheHdr, false, nil
 }
 
 type runResult struct {
@@ -245,10 +346,33 @@ type runResult struct {
 	wallNS int64
 }
 
-// run executes the deterministic schedule: request j targets
-// urls[j mod len(urls)], jobs are handed to clients in order, and each
-// client's samples land in a per-request slot (no append races).
-func run(client *http.Client, urls []target, ids []string, clients, requests int) runResult {
+// sample issues one scheduled request and records its outcome relative
+// to the run's start.
+func sample(client *http.Client, t target, start time.Time) service.LoadSample {
+	reqStart := time.Now()
+	status, cacheHdr, shed, err := do(client, t)
+	s := service.LoadSample{
+		Scenario:  t.scenario,
+		Endpoint:  t.endpoint,
+		StartNS:   int64(reqStart.Sub(start)),
+		LatencyNS: int64(time.Since(reqStart)),
+		Status:    status,
+		Cache:     cacheHdr,
+		Failed:    err != nil || (status != http.StatusOK && !shed),
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routeload: %v\n", err)
+	} else if status != http.StatusOK && !shed {
+		fmt.Fprintf(os.Stderr, "routeload: %s: status %d\n", t.url, status)
+	}
+	return s
+}
+
+// run executes the deterministic request-budget schedule: request j
+// targets urls[j mod len(urls)], jobs are handed to clients in order,
+// and each client's samples land in a per-request slot (no append
+// races).
+func run(client *http.Client, urls []target, clients, spread, requests int) runResult {
 	samples := make([]service.LoadSample, requests)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -258,22 +382,7 @@ func run(client *http.Client, urls []target, ids []string, clients, requests int
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				t := urls[j%len(urls)]
-				reqStart := time.Now()
-				status, cacheHdr, err := do(client, t)
-				samples[j] = service.LoadSample{
-					Scenario:  t.scenario,
-					Endpoint:  t.endpoint,
-					LatencyNS: int64(time.Since(reqStart)),
-					Status:    status,
-					Cache:     cacheHdr,
-					Failed:    err != nil || status != http.StatusOK,
-				}
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "routeload: %v\n", err)
-				} else if status != http.StatusOK {
-					fmt.Fprintf(os.Stderr, "routeload: %s: status %d\n", t.url, status)
-				}
+				samples[j] = sample(client, urls[j%len(urls)].at(j, spread), start)
 			}
 		}()
 	}
@@ -285,23 +394,63 @@ func run(client *http.Client, urls []target, ids []string, clients, requests int
 	return runResult{s: samples, wallNS: int64(time.Since(start))}
 }
 
+// runSustained executes the sustained schedule: client c owns schedule
+// positions c, c+N, c+2N, ... and loops until the deadline. Per-client
+// sample slices are merged in client order afterwards, so the output
+// order is deterministic given the same per-client stop points.
+func runSustained(client *http.Client, urls []target, clients, spread int, d time.Duration) runResult {
+	perClient := make([][]service.LoadSample, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(d)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := c; time.Now().Before(deadline); j += clients {
+				perClient[c] = append(perClient[c], sample(client, urls[j%len(urls)].at(j, spread), start))
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Wall is measured after the join: requests started before the
+	// deadline may finish after it, and they belong to this run.
+	wallNS := int64(time.Since(start))
+	var all []service.LoadSample
+	for _, ss := range perClient {
+		all = append(all, ss...)
+	}
+	return runResult{s: all, wallNS: wallNS}
+}
+
 func printSummary(rep service.LoadReport) {
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	fmt.Printf("%s: %d requests, %d clients, %d scenario(s), %.1fs wall\n",
 		rep.Schema, rep.Requests, rep.Clients, len(rep.Scenarios), float64(rep.WallNS)/1e9)
-	fmt.Printf("throughput %.1f req/s, errors %d (%.2f%%), cache hit rate %.1f%% (%d/%d counted)\n",
-		rep.Throughput, rep.Errors, rep.ErrorRate*100,
+	fmt.Printf("throughput %.1f req/s, errors %d (%.2f%%), sheds %d (%.2f%%), cache hit rate %.1f%% (%d/%d counted)\n",
+		rep.Throughput, rep.Errors, rep.ErrorRate*100, rep.Sheds, rep.ShedRate*100,
 		rep.CacheHitRate*100, rep.CacheHits, rep.CacheHits+rep.CacheMisses)
 	fmt.Printf("latency p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms\n",
 		ms(rep.Latency.P50NS), ms(rep.Latency.P90NS), ms(rep.Latency.P99NS), ms(rep.Latency.MaxNS))
 	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(w, "endpoint\trequests\terrors\tp50 ms\tp99 ms")
+	fmt.Fprintln(w, "endpoint\trequests\terrors\tsheds\tp50 ms\tp99 ms")
 	for _, ep := range rep.Endpoints {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\n",
-			ep.Endpoint, ep.Requests, ep.Errors, ms(ep.Latency.P50NS), ms(ep.Latency.P99NS))
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.1f\n",
+			ep.Endpoint, ep.Requests, ep.Errors, ep.Sheds, ms(ep.Latency.P50NS), ms(ep.Latency.P99NS))
 	}
 	w.Flush()
 	for _, sc := range rep.PerScenario {
-		fmt.Printf("scenario %s: %d requests, %d errors\n", sc.Scenario, sc.Requests, sc.Errors)
+		fmt.Printf("scenario %s: %d requests, %d errors, %d sheds\n", sc.Scenario, sc.Requests, sc.Errors, sc.Sheds)
+	}
+	if len(rep.Buckets) > 0 {
+		fmt.Printf("histogram: %d buckets of %v\n", len(rep.Buckets), time.Duration(rep.BucketNS))
+		bw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(bw, "t\trequests\terrors\tsheds\tp50 ms\tp99 ms")
+		for _, b := range rep.Buckets {
+			fmt.Fprintf(bw, "%v\t%d\t%d\t%d\t%.1f\t%.1f\n",
+				time.Duration(b.StartNS), b.Requests, b.Errors, b.Sheds,
+				ms(b.Latency.P50NS), ms(b.Latency.P99NS))
+		}
+		bw.Flush()
 	}
 }

@@ -83,6 +83,19 @@ func (t *Timer) Observe(d time.Duration) {
 	}
 }
 
+// Mean returns the mean observed duration, or 0 before any Observe.
+// It reads recorded aggregates only — callers that must not touch the
+// wall clock (the service layer's Retry-After estimate) use it to
+// reason about stage cost without a clock read.
+func (t *Timer) Mean() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 {
+		return 0
+	}
+	return t.total / time.Duration(t.count)
+}
+
 // Start begins timing a stage execution; the returned func stops the
 // clock and records the elapsed wall time:
 //
@@ -99,6 +112,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+
+	lmu       sync.Mutex
+	listeners map[int]func(name string, begin bool)
+	nextLis   int
 }
 
 // NewRegistry returns an empty registry.
@@ -107,6 +124,68 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
+	}
+}
+
+// OnStage registers fn to be called at the begin (begin=true) and end
+// (begin=false) of every stage started through StartStage on this
+// registry. The returned cancel func unregisters it; after cancel
+// returns fn will not be called again. Listeners run synchronously on
+// the instrumented goroutine, so fn must be fast and must not call back
+// into StartStage.
+//
+// Listeners exist so coarse build pipelines can be observed live — the
+// service layer's build-progress endpoint subscribes here to learn
+// which scenario phase is running without polling snapshots.
+func (r *Registry) OnStage(fn func(name string, begin bool)) (cancel func()) {
+	r.lmu.Lock()
+	defer r.lmu.Unlock()
+	if r.listeners == nil {
+		r.listeners = make(map[int]func(string, bool))
+	}
+	id := r.nextLis
+	r.nextLis++
+	r.listeners[id] = fn
+	return func() {
+		r.lmu.Lock()
+		defer r.lmu.Unlock()
+		delete(r.listeners, id)
+	}
+}
+
+func (r *Registry) notifyStage(name string, begin bool) {
+	r.lmu.Lock()
+	if len(r.listeners) == 0 {
+		r.lmu.Unlock()
+		return
+	}
+	// Deterministic dispatch order (maporder): ids ascend.
+	ids := make([]int, 0, len(r.listeners))
+	for id := range r.listeners {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fns := make([]func(string, bool), 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, r.listeners[id])
+	}
+	r.lmu.Unlock()
+	for _, fn := range fns {
+		fn(name, begin)
+	}
+}
+
+// StartStage starts timing a named stage on this registry and notifies
+// stage listeners of the begin; the returned func records the elapsed
+// wall time and notifies the end:
+//
+//	defer reg.StartStage("scenario/topology")()
+func (r *Registry) StartStage(name string) func() {
+	r.notifyStage(name, true)
+	stop := r.Timer(name).Start()
+	return func() {
+		stop()
+		r.notifyStage(name, false)
 	}
 }
 
@@ -268,10 +347,17 @@ func SetGauge(name string, v float64) { defaultRegistry.Gauge(name).Set(v) }
 // Observe records one duration on a stage timer in the default registry.
 func Observe(name string, d time.Duration) { defaultRegistry.Timer(name).Observe(d) }
 
-// StartStage starts timing a named stage on the default registry:
+// StartStage starts timing a named stage on the default registry,
+// notifying any registered stage listeners:
 //
 //	defer obs.StartStage("scenario/topology")()
-func StartStage(name string) func() { return defaultRegistry.Timer(name).Start() }
+func StartStage(name string) func() { return defaultRegistry.StartStage(name) }
+
+// OnStage registers a stage listener on the default registry (see
+// Registry.OnStage).
+func OnStage(fn func(name string, begin bool)) (cancel func()) {
+	return defaultRegistry.OnStage(fn)
+}
 
 // Snap snapshots the default registry.
 func Snap() Snapshot { return defaultRegistry.Snapshot() }

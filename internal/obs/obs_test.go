@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -293,4 +294,72 @@ func TestDefaultHelpers(t *testing.T) {
 	if !found {
 		t.Errorf("stage not aggregated: %+v", snap.Stages)
 	}
+}
+
+// TestOnStageListeners checks the stage-event subscription contract:
+// begin/end pairs in order, multiple listeners, and that cancel stops
+// delivery immediately.
+func TestOnStageListeners(t *testing.T) {
+	r := NewRegistry()
+	type ev struct {
+		name  string
+		begin bool
+	}
+	var got []ev
+	cancel := r.OnStage(func(name string, begin bool) {
+		got = append(got, ev{name, begin})
+	})
+
+	stop := r.StartStage("phase/a")
+	stop()
+	r.StartStage("phase/b")()
+
+	want := []ev{{"phase/a", true}, {"phase/a", false}, {"phase/b", true}, {"phase/b", false}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("events = %+v, want %+v", got, want)
+	}
+
+	cancel()
+	r.StartStage("phase/c")()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("listener fired after cancel: %+v", got)
+	}
+
+	// The timer still aggregates even with no listeners attached.
+	snap := r.Snapshot()
+	names := map[string]int64{}
+	for _, st := range snap.Stages {
+		names[st.Name] = st.Count
+	}
+	for _, n := range []string{"phase/a", "phase/b", "phase/c"} {
+		if names[n] != 1 {
+			t.Errorf("stage %q count = %d, want 1", n, names[n])
+		}
+	}
+}
+
+// TestOnStageConcurrent subscribes and unsubscribes while stages run on
+// other goroutines — a -race check that the listener table is safe.
+func TestOnStageConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.StartStage("phase/hot")()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cancel := r.OnStage(func(string, bool) { fired.Add(1) })
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
 }

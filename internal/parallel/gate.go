@@ -1,6 +1,9 @@
 package parallel
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // A Gate bounds admission to a shared resource: at most N holders at
 // once, extra callers queue. It is the request-side complement of the
@@ -16,7 +19,8 @@ import "context"
 // Work admitted through a Gate must still follow the package's purity
 // rules if it fans out further.
 type Gate struct {
-	slots chan struct{}
+	slots   chan struct{}
+	waiting atomic.Int64
 }
 
 // NewGate returns a Gate admitting at most n concurrent holders.
@@ -38,6 +42,15 @@ func (g *Gate) Enter(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Fast path: a free slot means the caller never queues and Waiting
+	// stays untouched, so an unloaded gate always reports depth 0.
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	g.waiting.Add(1)
+	defer g.waiting.Add(-1)
 	select {
 	case g.slots <- struct{}{}:
 		return nil
@@ -52,3 +65,10 @@ func (g *Gate) Leave() { <-g.slots }
 // InUse reports how many slots are currently held (racy by nature;
 // for metrics only).
 func (g *Gate) InUse() int { return len(g.slots) }
+
+// Waiting reports how many callers are currently queued in Enter with
+// all slots taken. Like InUse it is instantaneously racy, but it is the
+// load-shedding signal: admission layers compare it against a queue
+// budget BEFORE calling Enter, so a saturated gate fails fast instead
+// of growing an unbounded line of doomed waiters.
+func (g *Gate) Waiting() int { return int(g.waiting.Load()) }

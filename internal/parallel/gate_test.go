@@ -65,6 +65,60 @@ func TestGateEnterHonorsContext(t *testing.T) {
 	}
 }
 
+func TestGateWaitingCountsQueuedCallers(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.Waiting(); w != 0 {
+		t.Fatalf("Waiting() = %d with an empty queue", w)
+	}
+
+	const queued = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Enter(ctx); err == nil {
+				g.Leave()
+			}
+		}()
+	}
+	// The waiters have no other rendezvous point, so poll until all of
+	// them are provably parked in Enter's blocking select.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiting() != queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiting() = %d, want %d", g.Waiting(), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Releasing the slot lets the line drain; canceling evicts the rest.
+	g.Leave()
+	cancel()
+	wg.Wait()
+	if w := g.Waiting(); w != 0 {
+		t.Errorf("Waiting() = %d after drain", w)
+	}
+}
+
+func TestGateWaitingZeroOnFastPath(t *testing.T) {
+	// A caller that finds a free slot must never be counted as waiting.
+	g := NewGate(2)
+	for i := 0; i < 10; i++ {
+		if err := g.Enter(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if w := g.Waiting(); w != 0 {
+			t.Fatalf("Waiting() = %d on uncontended Enter", w)
+		}
+		g.Leave()
+	}
+}
+
 func TestGateDefaultSizing(t *testing.T) {
 	if g := NewGate(0); g.Cap() != Workers(0) {
 		t.Errorf("NewGate(0).Cap() = %d, want Workers(0) = %d", g.Cap(), Workers(0))

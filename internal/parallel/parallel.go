@@ -153,6 +153,11 @@ func ForEachStage(stage string, n, workers int, fn func(i int)) {
 		effective = n
 	}
 	var busy atomic.Int64
+	reg := obs.Default()
+	// StartStage (rather than a bare Timer) so registered stage
+	// listeners see the begin/end of the fan-out live — the service
+	// layer's build-progress tracker rides these events.
+	stop := reg.StartStage(stage)
 	start := time.Now()
 	ForEach(n, workers, func(i int) {
 		t0 := time.Now()
@@ -161,8 +166,7 @@ func ForEachStage(stage string, n, workers int, fn func(i int)) {
 		busy.Add(int64(time.Since(t0)))
 	})
 	wall := time.Since(start)
-	reg := obs.Default()
-	reg.Timer(stage).Observe(wall)
+	stop()
 	reg.Counter(stage + ".items").Add(int64(n))
 	reg.Gauge(stage + ".workers").Set(float64(effective))
 	if wall > 0 {

@@ -38,7 +38,7 @@ import (
 const Schema = "routelab-api/v1"
 
 // Kinds lists the envelope kinds the API emits.
-var Kinds = []string{"health", "metrics", "classify", "alternates", "experiment", "as", "whatif", "scenarios", "scenario", "error"}
+var Kinds = []string{"health", "metrics", "classify", "alternates", "experiment", "as", "whatif", "scenarios", "scenario", "build", "error"}
 
 // Envelope is the versioned wrapper around every response body.
 type Envelope struct {
@@ -177,6 +177,9 @@ type ScenarioInfo struct {
 	Seed   int64   `json:"seed"`
 	Scale  float64 `json:"scale"`
 	Built  bool    `json:"built"`
+	// SizeBytes is the resident-cost estimate of the sealed build (the
+	// store's byte-budget charge); 0 unless Built.
+	SizeBytes int64 `json:"size_bytes,omitempty"`
 }
 
 // ScenariosData is the GET /v1/scenarios payload: every registered

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"routelab/internal/obs"
+)
+
+// measureTenantBytes builds one test world in a throwaway store and
+// returns its accounted size — the unit the byte-budget tests size
+// their budgets in, so they hold whatever the walk actually reports
+// rather than a hardcoded guess.
+func measureTenantBytes(t *testing.T) int64 {
+	t.Helper()
+	st, ts := newTestFleet(t, StoreConfig{}, testExpansion("probe", 1))
+	if status, body := get(t, ts.URL+"/v1/scenarios/probe/healthz"); status != http.StatusOK {
+		t.Fatalf("probe build: status %d\n%s", status, body)
+	}
+	info, err := st.Info("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SizeBytes <= 0 {
+		t.Fatalf("built tenant SizeBytes = %d, want > 0", info.SizeBytes)
+	}
+	return info.SizeBytes
+}
+
+// TestStoreByteBudgetEviction sizes a budget to hold one world but not
+// two, then admits two: the second admit must evict the first by
+// accounted bytes (not count), purge its cache partition, drain its
+// fork pools, and leave resident bytes within budget — while the
+// evicted world still rebuilds to byte-identical responses.
+func TestStoreByteBudgetEviction(t *testing.T) {
+	obs.Reset()
+	size := measureTenantBytes(t)
+	budget := size + size/2
+	st, ts := newTestFleet(t, StoreConfig{MaxScenarioBytes: budget},
+		testExpansion("alpha", 1), testExpansion("beta", 2))
+	urlA := ts.URL + "/v1/scenarios/alpha/experiments/table1"
+	urlB := ts.URL + "/v1/scenarios/beta/experiments/table1"
+
+	status, bodyA, hdr := getHeader(t, urlA)
+	if status != http.StatusOK || hdr != "miss" {
+		t.Fatalf("first alpha: status %d, cache %q", status, hdr)
+	}
+	if got := st.ResidentBytes(); got <= 0 || got > budget {
+		t.Errorf("resident bytes %d after one admit, want in (0, %d]", got, budget)
+	}
+	// Grab the tenant before eviction so the pool-drain check below has
+	// the evicted instance, not a rebuild.
+	tenantA, err := st.Get(context.Background(), "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Beta doesn't fit alongside alpha: the admit must evict by bytes.
+	if status, _, _ := getHeader(t, urlB); status != http.StatusOK {
+		t.Fatalf("beta: status %d", status)
+	}
+	if n := st.BuiltLen(); n != 1 {
+		t.Errorf("BuiltLen = %d, want 1 (byte budget fits one world)", n)
+	}
+	if got := st.ResidentBytes(); got > budget {
+		t.Errorf("resident bytes %d exceed budget %d after admit", got, budget)
+	}
+	if n := obs.Snap().Counters["service.scenario.evictions"]; n != 1 {
+		t.Errorf("evictions = %d, want 1", n)
+	}
+
+	// The evicted tenant's fork pools are drained (stopped, no refill
+	// goroutines) but still serve inline — the TestForkPoolDrainJoinsRefills
+	// contract, now triggered by byte-budget eviction.
+	if len(tenantA.pools) == 0 {
+		t.Fatal("test scenario has no fork pools")
+	}
+	for _, p := range tenantA.pools {
+		p.mu.Lock()
+		stopped := p.stopped
+		p.mu.Unlock()
+		if !stopped {
+			t.Error("evicted tenant's fork pool not drained")
+		}
+		if c := p.get(); c == nil {
+			t.Error("drained pool stopped serving inline forks")
+		}
+	}
+
+	// No stale bytes: alpha's rebuild recomputes (miss — its cache
+	// partition was purged) and the bytes match the pre-eviction body.
+	status, rebuilt, hdr := getHeader(t, urlA)
+	if status != http.StatusOK {
+		t.Fatalf("rebuilt alpha: status %d", status)
+	}
+	if hdr != "miss" {
+		t.Errorf("rebuilt alpha: cache %q, want miss (partition purged)", hdr)
+	}
+	if rebuilt != bodyA {
+		t.Error("rebuilt alpha response differs from pre-eviction response")
+	}
+}
+
+// TestStoreByteBudgetSoleResident pins the anti-thrash rule: a world
+// bigger than the whole budget still becomes (and stays) resident when
+// it is the only one — the store serves over budget rather than
+// rebuilding the same scenario on every request.
+func TestStoreByteBudgetSoleResident(t *testing.T) {
+	st, ts := newTestFleet(t, StoreConfig{MaxScenarioBytes: 1},
+		testExpansion("alpha", 1), testExpansion("beta", 2))
+	urlA := ts.URL + "/v1/scenarios/alpha/experiments/table1"
+
+	if status, _, _ := getHeader(t, urlA); status != http.StatusOK {
+		t.Fatal("alpha build failed")
+	}
+	if n := st.BuiltLen(); n != 1 {
+		t.Fatalf("BuiltLen = %d, want 1 (sole resident survives over budget)", n)
+	}
+	if got := st.ResidentBytes(); got <= 1 {
+		t.Errorf("resident bytes %d, want the true (over-budget) cost", got)
+	}
+	if _, _, hdr := getHeader(t, urlA); hdr != "hit" {
+		t.Errorf("repeat alpha: cache %q, want hit (still resident, not thrashing)", hdr)
+	}
+	// A second world displaces the first; exactly one stays resident.
+	if status, _, _ := getHeader(t, ts.URL+"/v1/scenarios/beta/healthz"); status != http.StatusOK {
+		t.Fatal("beta build failed")
+	}
+	if n := st.BuiltLen(); n != 1 {
+		t.Errorf("BuiltLen = %d, want 1 after displacement", n)
+	}
+}
+
+// TestStoreEvictionDifferential replays one randomized admit/query
+// history against a count-budget store and a byte-budget store sized
+// to the same capacity (two worlds), checking after every step that
+// each store honors its own budget invariant, that the byte store's
+// ResidentBytes ledger reconciles exactly with the sum of its built
+// tenants' SizeBytes, and that both stores serve byte-identical bodies
+// for every id across evictions and rebuilds.
+func TestStoreEvictionDifferential(t *testing.T) {
+	obs.Reset()
+	size := measureTenantBytes(t)
+	newFleet := func(cfg StoreConfig) (*Store, *httptest.Server) {
+		return newTestFleet(t, cfg,
+			testExpansion("a", 11), testExpansion("b", 12), testExpansion("c", 13))
+	}
+	countSt, countTS := newFleet(StoreConfig{MaxScenarios: 2})
+	// Half a world of slack absorbs per-seed size variation while still
+	// holding exactly two.
+	budget := 2*size + size/2
+	byteSt, byteTS := newFleet(StoreConfig{MaxScenarioBytes: budget})
+
+	ids := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(42))
+	bodies := make(map[string]string) // id -> canonical table1 body
+	// 8 steps over 3 ids against capacity 2 churns several evictions and
+	// rebuilds per store while keeping the -race run affordable.
+	for step := 0; step < 8; step++ {
+		id := ids[rng.Intn(len(ids))]
+		path := "/v1/scenarios/" + id + "/experiments/table1"
+
+		countStatus, countBody, _ := getHeader(t, countTS.URL+path)
+		byteStatus, byteBody, _ := getHeader(t, byteTS.URL+path)
+		if countStatus != http.StatusOK || byteStatus != http.StatusOK {
+			t.Fatalf("step %d id %s: status %d/%d", step, id, countStatus, byteStatus)
+		}
+		if countBody != byteBody {
+			t.Fatalf("step %d id %s: count and byte stores disagree on bytes", step, id)
+		}
+		if want, ok := bodies[id]; ok && want != countBody {
+			t.Fatalf("step %d id %s: body changed across evictions/rebuilds", step, id)
+		}
+		bodies[id] = countBody
+
+		if n := countSt.BuiltLen(); n > 2 {
+			t.Fatalf("step %d: count store resident %d > cap 2", step, n)
+		}
+		if got := byteSt.ResidentBytes(); got > budget && byteSt.BuiltLen() > 1 {
+			t.Fatalf("step %d: byte store %d bytes over budget %d with %d residents",
+				step, got, budget, byteSt.BuiltLen())
+		}
+		// Ledger reconciliation: the counter must equal the sum of what
+		// the store reports per built scenario — no leaked or stale bytes
+		// after any eviction.
+		var sum int64
+		for _, info := range byteSt.Infos() {
+			if info.Built {
+				sum += info.SizeBytes
+			}
+		}
+		if got := byteSt.ResidentBytes(); got != sum {
+			t.Fatalf("step %d: ResidentBytes %d != sum of built SizeBytes %d", step, got, sum)
+		}
+	}
+}

@@ -33,6 +33,10 @@ func NewFleet(store *Store) *Fleet {
 	instrument(f.mux, "GET /v1/scenarios", "scenarios", f.serveScenarios)
 	instrument(f.mux, "POST /v1/scenarios", "admit", f.serveAdmit)
 	instrument(f.mux, "GET /v1/scenarios/{id}", "scenario", f.serveScenario)
+	// Build progress deliberately bypasses the tenant resolver: asking
+	// how a build is going must answer instantly, never trigger the
+	// build or queue behind it.
+	instrument(f.mux, "GET /v1/scenarios/{id}/build", "build", f.serveBuildProgress)
 	// Every per-scenario endpoint comes from the shared route table the
 	// single-scenario Server mounts at /v1 — one registration, two modes.
 	for _, rt := range scenarioRoutes {
@@ -62,10 +66,15 @@ func (f *Fleet) tenant(h func(*Server, http.ResponseWriter, *http.Request)) http
 	}
 }
 
-// failStore maps a store resolution failure to a status: unknown id is
-// 404, a context death while waiting on a build is 504, a failed build
-// 500.
+// failStore maps a store resolution failure to a status: a shed build
+// is 429 with Retry-After, unknown id is 404, a context death while
+// waiting on a build is 504, a failed build 500.
 func failStore(w http.ResponseWriter, err error) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		failOverload(w, oe)
+		return
+	}
 	switch {
 	case errors.Is(err, ErrUnknownScenario):
 		fail(w, http.StatusNotFound, apiErr(CodeNotFound, err.Error()))
@@ -102,6 +111,24 @@ func (f *Fleet) serveScenarios(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	body, err := marshalEnvelope("scenarios", data)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
+		return
+	}
+	writeBody(w, body)
+}
+
+// serveBuildProgress is GET /v1/scenarios/{id}/build: a phase/percent
+// snapshot of the scenario's build. Like /v1/metrics it reports
+// history, so it is never cached and is exempt from the byte-identity
+// contract.
+func (f *Fleet) serveBuildProgress(w http.ResponseWriter, r *http.Request) {
+	d, err := f.store.BuildProgress(r.PathValue("id"))
+	if err != nil {
+		failStore(w, err)
+		return
+	}
+	body, err := marshalEnvelope("build", d)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, apiErr(CodeInternal, err.Error()))
 		return

@@ -18,11 +18,18 @@ const LoadSchema = "routelab-load/v1"
 type LoadSample struct {
 	Scenario  string // scenario id ("" for fleet-level endpoints)
 	Endpoint  string // endpoint family: healthz, classify, ...
+	StartNS   int64  // request start, as an offset from the run's start
 	LatencyNS int64
 	Status    int    // HTTP status (0 when the request itself failed)
 	Cache     string // CacheHeader value: "hit", "miss", or ""
 	Failed    bool   // transport error, bad status, or invalid envelope
 }
+
+// Shed reports whether the sample is a clean shed: the server refused
+// with 429 and the harness verified the refusal's shape (overloaded
+// envelope + Retry-After), so Failed stayed false. A malformed 429 is
+// an error, not a shed.
+func (s LoadSample) Shed() bool { return s.Status == 429 && !s.Failed }
 
 // LoadLatency is a latency distribution in nanoseconds.
 type LoadLatency struct {
@@ -37,6 +44,7 @@ type LoadEndpoint struct {
 	Endpoint string      `json:"endpoint"`
 	Requests int64       `json:"requests"`
 	Errors   int64       `json:"errors"`
+	Sheds    int64       `json:"sheds,omitempty"`
 	Latency  LoadLatency `json:"latency"`
 }
 
@@ -45,6 +53,21 @@ type LoadScenario struct {
 	Scenario string `json:"scenario"`
 	Requests int64  `json:"requests"`
 	Errors   int64  `json:"errors"`
+	Sheds    int64  `json:"sheds,omitempty"`
+}
+
+// LoadBucket is one time slice of the run: every sample whose start
+// fell in [StartNS, EndNS) relative to the run's start, with its own
+// latency distribution. Buckets turn the end-of-run percentiles into a
+// histogram over time, which is what exposes warm-up cliffs, build
+// stalls, and shed storms that a whole-run p99 averages away.
+type LoadBucket struct {
+	StartNS  int64       `json:"start_ns"`
+	EndNS    int64       `json:"end_ns"`
+	Requests int64       `json:"requests"`
+	Errors   int64       `json:"errors"`
+	Sheds    int64       `json:"sheds"`
+	Latency  LoadLatency `json:"latency"`
 }
 
 // LoadReport is the routelab-load/v1 emission: the whole run's
@@ -65,11 +88,20 @@ type LoadReport struct {
 	Requests     int64       `json:"requests"`
 	Errors       int64       `json:"errors"`
 	ErrorRate    float64     `json:"error_rate"`
+	Sheds        int64       `json:"sheds"`
+	ShedRate     float64     `json:"shed_rate"`
 	Throughput   float64     `json:"throughput_rps"`
 	Latency      LoadLatency `json:"latency"`
 	CacheHits    int64       `json:"cache_hits"`
 	CacheMisses  int64       `json:"cache_misses"`
 	CacheHitRate float64     `json:"cache_hit_rate"`
+
+	// BucketNS is the time-bucket width; Buckets tile [0, WallNS)
+	// contiguously from the run's start (empty slices included, so
+	// bucket i always covers [i*BucketNS, (i+1)*BucketNS)). Both are
+	// omitted when the harness ran without bucketing.
+	BucketNS int64        `json:"bucket_ns,omitempty"`
+	Buckets  []LoadBucket `json:"buckets,omitempty"`
 
 	Endpoints   []LoadEndpoint `json:"endpoints"`
 	PerScenario []LoadScenario `json:"per_scenario"`
@@ -109,8 +141,10 @@ func latencyOf(ns []int64) LoadLatency {
 // BuildLoadReport aggregates a run's samples into the versioned
 // emission. It is a pure function of its inputs (the harness measures
 // wall time and passes it in), so the same samples always aggregate to
-// the same report.
-func BuildLoadReport(command, target string, scenarios []string, clients int, wallNS int64, samples []LoadSample) LoadReport {
+// the same report. bucketNS > 0 additionally tiles the run into
+// contiguous time buckets by each sample's StartNS; <= 0 omits
+// buckets (the pre-histogram report shape).
+func BuildLoadReport(command, target string, scenarios []string, clients int, wallNS, bucketNS int64, samples []LoadSample) LoadReport {
 	rep := LoadReport{
 		Schema:     LoadSchema,
 		Command:    command,
@@ -133,6 +167,9 @@ func BuildLoadReport(command, target string, scenarios []string, clients int, wa
 		if s.Failed {
 			rep.Errors++
 		}
+		if s.Shed() {
+			rep.Sheds++
+		}
 		switch s.Cache {
 		case "hit":
 			rep.CacheHits++
@@ -148,6 +185,7 @@ func BuildLoadReport(command, target string, scenarios []string, clients int, wa
 	rep.Latency = latencyOf(all)
 	if rep.Requests > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.ShedRate = float64(rep.Sheds) / float64(rep.Requests)
 	}
 	if counted := rep.CacheHits + rep.CacheMisses; counted > 0 {
 		rep.CacheHitRate = float64(rep.CacheHits) / float64(counted)
@@ -172,6 +210,9 @@ func BuildLoadReport(command, target string, scenarios []string, clients int, wa
 			if s.Failed {
 				ep.Errors++
 			}
+			if s.Shed() {
+				ep.Sheds++
+			}
 			ns = append(ns, s.LatencyNS)
 		}
 		ep.Latency = latencyOf(ns)
@@ -189,10 +230,57 @@ func BuildLoadReport(command, target string, scenarios []string, clients int, wa
 			if s.Failed {
 				sc.Errors++
 			}
+			if s.Shed() {
+				sc.Sheds++
+			}
 		}
 		rep.PerScenario = append(rep.PerScenario, sc)
 	}
+	if bucketNS > 0 {
+		rep.BucketNS = bucketNS
+		rep.Buckets = bucketize(samples, bucketNS)
+	}
 	return rep
+}
+
+// bucketize tiles the samples into contiguous bucketNS-wide time
+// slices by StartNS. Every bucket from 0 through the last occupied one
+// is emitted (empty included) so consumers can index by time without
+// gap handling; a negative StartNS clamps into the first bucket.
+func bucketize(samples []LoadSample, bucketNS int64) []LoadBucket {
+	if len(samples) == 0 {
+		return nil
+	}
+	byBucket := make(map[int][]LoadSample)
+	last := 0
+	for _, s := range samples {
+		i := 0
+		if s.StartNS > 0 {
+			i = int(s.StartNS / bucketNS)
+		}
+		if i > last {
+			last = i
+		}
+		byBucket[i] = append(byBucket[i], s)
+	}
+	out := make([]LoadBucket, last+1)
+	for i := range out {
+		b := LoadBucket{StartNS: int64(i) * bucketNS, EndNS: int64(i+1) * bucketNS}
+		ns := make([]int64, 0, len(byBucket[i]))
+		for _, s := range byBucket[i] {
+			b.Requests++
+			if s.Failed {
+				b.Errors++
+			}
+			if s.Shed() {
+				b.Sheds++
+			}
+			ns = append(ns, s.LatencyNS)
+		}
+		b.Latency = latencyOf(ns)
+		out[i] = b
+	}
+	return out
 }
 
 // Validate checks the emission the way obs.BenchReport.Validate checks
@@ -215,6 +303,14 @@ func (r LoadReport) Validate() error {
 	if r.ErrorRate < 0 || r.ErrorRate > 1 {
 		return fmt.Errorf("error_rate %g outside [0, 1]", r.ErrorRate)
 	}
+	// Sheds and errors are disjoint by construction: a clean shed is a
+	// verified 429 (not Failed), a malformed one counts as an error.
+	if r.Sheds < 0 || r.Sheds+r.Errors > r.Requests {
+		return fmt.Errorf("sheds %d + errors %d exceed requests %d", r.Sheds, r.Errors, r.Requests)
+	}
+	if r.ShedRate < 0 || r.ShedRate > 1 {
+		return fmt.Errorf("shed_rate %g outside [0, 1]", r.ShedRate)
+	}
 	if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
 		return fmt.Errorf("cache_hit_rate %g outside [0, 1]", r.CacheHitRate)
 	}
@@ -233,7 +329,7 @@ func (r LoadReport) Validate() error {
 	if len(r.Endpoints) == 0 {
 		return fmt.Errorf("no endpoint breakdown")
 	}
-	var reqSum, errSum int64
+	var reqSum, errSum, shedSum int64
 	for _, ep := range r.Endpoints {
 		if ep.Endpoint == "" {
 			return fmt.Errorf("endpoint with empty name")
@@ -243,12 +339,55 @@ func (r LoadReport) Validate() error {
 		}
 		reqSum += ep.Requests
 		errSum += ep.Errors
+		shedSum += ep.Sheds
 	}
 	if reqSum != r.Requests {
 		return fmt.Errorf("endpoint requests sum %d != total %d", reqSum, r.Requests)
 	}
 	if errSum != r.Errors {
 		return fmt.Errorf("endpoint errors sum %d != total %d", errSum, r.Errors)
+	}
+	if shedSum != r.Sheds {
+		return fmt.Errorf("endpoint sheds sum %d != total %d", shedSum, r.Sheds)
+	}
+	return r.validateBuckets()
+}
+
+// validateBuckets checks the time-bucket histogram: contiguous tiling
+// from 0 at BucketNS width, per-bucket counts in range, and bucket
+// sums reconciling exactly with the run totals (every sample lands in
+// exactly one bucket).
+func (r LoadReport) validateBuckets() error {
+	if len(r.Buckets) == 0 {
+		if r.BucketNS != 0 {
+			return fmt.Errorf("bucket_ns %d with no buckets", r.BucketNS)
+		}
+		return nil
+	}
+	if r.BucketNS <= 0 {
+		return fmt.Errorf("buckets present but bucket_ns %d", r.BucketNS)
+	}
+	var reqSum, errSum, shedSum int64
+	for i, b := range r.Buckets {
+		wantStart := int64(i) * r.BucketNS
+		if b.StartNS != wantStart || b.EndNS != wantStart+r.BucketNS {
+			return fmt.Errorf("bucket %d spans [%d, %d), want [%d, %d)",
+				i, b.StartNS, b.EndNS, wantStart, wantStart+r.BucketNS)
+		}
+		if b.Requests < 0 || b.Errors < 0 || b.Sheds < 0 || b.Errors+b.Sheds > b.Requests {
+			return fmt.Errorf("bucket %d: errors %d + sheds %d exceed requests %d",
+				i, b.Errors, b.Sheds, b.Requests)
+		}
+		if err := b.Latency.validate(fmt.Sprintf("bucket %d", i)); err != nil {
+			return err
+		}
+		reqSum += b.Requests
+		errSum += b.Errors
+		shedSum += b.Sheds
+	}
+	if reqSum != r.Requests || errSum != r.Errors || shedSum != r.Sheds {
+		return fmt.Errorf("bucket sums (req %d, err %d, shed %d) != totals (req %d, err %d, shed %d)",
+			reqSum, errSum, shedSum, r.Requests, r.Errors, r.Sheds)
 	}
 	return nil
 }

@@ -32,56 +32,113 @@ func TestPercentile(t *testing.T) {
 }
 
 // loadSamples fabricates a small mixed run: two scenarios, two endpoint
-// families, one failure, a hit/miss mix.
+// families, one failure, one clean shed, a hit/miss mix, and start
+// offsets spanning two one-second buckets.
 func loadSamples() []LoadSample {
 	return []LoadSample{
-		{Scenario: "alpha", Endpoint: "classify", LatencyNS: 100, Status: 200, Cache: "miss"},
-		{Scenario: "alpha", Endpoint: "classify", LatencyNS: 50, Status: 200, Cache: "hit"},
-		{Scenario: "beta", Endpoint: "classify", LatencyNS: 200, Status: 200, Cache: "miss"},
-		{Scenario: "beta", Endpoint: "healthz", LatencyNS: 10, Status: 200},
-		{Scenario: "alpha", Endpoint: "healthz", LatencyNS: 1000, Status: 500, Failed: true},
+		{Scenario: "alpha", Endpoint: "classify", StartNS: 0, LatencyNS: 100, Status: 200, Cache: "miss"},
+		{Scenario: "alpha", Endpoint: "classify", StartNS: 2e8, LatencyNS: 50, Status: 200, Cache: "hit"},
+		{Scenario: "beta", Endpoint: "classify", StartNS: 1.1e9, LatencyNS: 200, Status: 200, Cache: "miss"},
+		{Scenario: "beta", Endpoint: "healthz", StartNS: 1.2e9, LatencyNS: 10, Status: 200},
+		{Scenario: "alpha", Endpoint: "healthz", StartNS: 1.5e9, LatencyNS: 1000, Status: 500, Failed: true},
+		{Scenario: "beta", Endpoint: "whatif", StartNS: 1.6e9, LatencyNS: 20, Status: 429},
 	}
 }
 
 func TestBuildLoadReport(t *testing.T) {
-	rep := BuildLoadReport("routeload -test", "http://x", []string{"beta", "alpha"}, 4, 2e9, loadSamples())
+	rep := BuildLoadReport("routeload -test", "http://x", []string{"beta", "alpha"}, 4, 2e9, 0, loadSamples())
 	if err := rep.Validate(); err != nil {
 		t.Fatalf("built report invalid: %v", err)
 	}
-	if rep.Requests != 5 || rep.Errors != 1 {
-		t.Errorf("requests/errors = %d/%d, want 5/1", rep.Requests, rep.Errors)
+	if rep.Requests != 6 || rep.Errors != 1 || rep.Sheds != 1 {
+		t.Errorf("requests/errors/sheds = %d/%d/%d, want 6/1/1", rep.Requests, rep.Errors, rep.Sheds)
 	}
-	if rep.ErrorRate != 0.2 {
-		t.Errorf("error rate %g, want 0.2", rep.ErrorRate)
+	if rep.ErrorRate != 1.0/6 || rep.ShedRate != 1.0/6 {
+		t.Errorf("error/shed rate %g/%g, want 1/6 each", rep.ErrorRate, rep.ShedRate)
 	}
 	if rep.CacheHits != 1 || rep.CacheMisses != 2 {
 		t.Errorf("cache hits/misses = %d/%d, want 1/2", rep.CacheHits, rep.CacheMisses)
 	}
-	if rep.Throughput != 2.5 {
-		t.Errorf("throughput %g req/s, want 2.5", rep.Throughput)
+	if rep.Throughput != 3 {
+		t.Errorf("throughput %g req/s, want 3", rep.Throughput)
 	}
 	if rep.Latency.MaxNS != 1000 {
 		t.Errorf("max latency %d, want 1000", rep.Latency.MaxNS)
+	}
+	if rep.BucketNS != 0 || rep.Buckets != nil {
+		t.Errorf("bucketNS=0 run grew buckets: %d/%+v", rep.BucketNS, rep.Buckets)
 	}
 	// Scenario list is sorted regardless of input order, and the
 	// breakdowns are published in sorted key order (maporder).
 	if rep.Scenarios[0] != "alpha" || rep.Scenarios[1] != "beta" {
 		t.Errorf("scenarios not sorted: %v", rep.Scenarios)
 	}
-	if len(rep.Endpoints) != 2 || rep.Endpoints[0].Endpoint != "classify" || rep.Endpoints[1].Endpoint != "healthz" {
+	if len(rep.Endpoints) != 3 || rep.Endpoints[0].Endpoint != "classify" || rep.Endpoints[1].Endpoint != "healthz" || rep.Endpoints[2].Endpoint != "whatif" {
 		t.Fatalf("endpoint breakdown wrong: %+v", rep.Endpoints)
 	}
-	if rep.Endpoints[0].Requests != 3 || rep.Endpoints[1].Errors != 1 {
+	if rep.Endpoints[0].Requests != 3 || rep.Endpoints[1].Errors != 1 || rep.Endpoints[2].Sheds != 1 {
 		t.Errorf("endpoint counts wrong: %+v", rep.Endpoints)
 	}
 	if len(rep.PerScenario) != 2 || rep.PerScenario[0].Scenario != "alpha" || rep.PerScenario[0].Requests != 3 {
 		t.Errorf("per-scenario breakdown wrong: %+v", rep.PerScenario)
 	}
+	if rep.PerScenario[1].Sheds != 1 {
+		t.Errorf("beta sheds = %d, want 1", rep.PerScenario[1].Sheds)
+	}
+}
+
+func TestBuildLoadReportBuckets(t *testing.T) {
+	rep := BuildLoadReport("routeload -test", "http://x", []string{"alpha", "beta"}, 4, 2e9, 1e9, loadSamples())
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("bucketed report invalid: %v", err)
+	}
+	if rep.BucketNS != 1e9 || len(rep.Buckets) != 2 {
+		t.Fatalf("bucket shape wrong: bucketNS %d, %d buckets", rep.BucketNS, len(rep.Buckets))
+	}
+	b0, b1 := rep.Buckets[0], rep.Buckets[1]
+	if b0.StartNS != 0 || b0.EndNS != 1e9 || b1.StartNS != 1e9 || b1.EndNS != 2e9 {
+		t.Errorf("bucket spans wrong: %+v %+v", b0, b1)
+	}
+	if b0.Requests != 2 || b0.Errors != 0 || b0.Sheds != 0 {
+		t.Errorf("bucket 0 counts = %d/%d/%d, want 2/0/0", b0.Requests, b0.Errors, b0.Sheds)
+	}
+	if b1.Requests != 4 || b1.Errors != 1 || b1.Sheds != 1 {
+		t.Errorf("bucket 1 counts = %d/%d/%d, want 4/1/1", b1.Requests, b1.Errors, b1.Sheds)
+	}
+	if b0.Latency.MaxNS != 100 || b1.Latency.MaxNS != 1000 {
+		t.Errorf("bucket latency wrong: %+v %+v", b0.Latency, b1.Latency)
+	}
+	// An empty middle bucket is still emitted: the tiling is contiguous.
+	sparse := []LoadSample{
+		{Endpoint: "healthz", StartNS: 0, LatencyNS: 1, Status: 200},
+		{Endpoint: "healthz", StartNS: 2.5e9, LatencyNS: 1, Status: 200},
+	}
+	rep = BuildLoadReport("c", "t", nil, 1, 3e9, 1e9, sparse)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("sparse report invalid: %v", err)
+	}
+	if len(rep.Buckets) != 3 || rep.Buckets[1].Requests != 0 {
+		t.Fatalf("sparse tiling wrong: %+v", rep.Buckets)
+	}
+}
+
+// TestLoadSampleShed pins the clean-shed definition: 429 and not
+// Failed. A malformed 429 (Failed set by the harness) is an error.
+func TestLoadSampleShed(t *testing.T) {
+	if !(LoadSample{Status: 429}).Shed() {
+		t.Error("clean 429 not a shed")
+	}
+	if (LoadSample{Status: 429, Failed: true}).Shed() {
+		t.Error("failed 429 counted as shed")
+	}
+	if (LoadSample{Status: 200}).Shed() {
+		t.Error("200 counted as shed")
+	}
 }
 
 func TestLoadReportValidateRejects(t *testing.T) {
 	good := func() LoadReport {
-		return BuildLoadReport("c", "t", []string{"a"}, 1, 1e9, loadSamples())
+		return BuildLoadReport("c", "t", []string{"a"}, 1, 2e9, 1e9, loadSamples())
 	}
 	cases := []struct {
 		name   string
@@ -101,6 +158,17 @@ func TestLoadReportValidateRejects(t *testing.T) {
 		{"endpoint name", func(r *LoadReport) { r.Endpoints[0].Endpoint = "" }},
 		{"request sum", func(r *LoadReport) { r.Endpoints[0].Requests++ }},
 		{"error sum", func(r *LoadReport) { r.Endpoints[0].Errors++ }},
+		{"sheds over requests", func(r *LoadReport) { r.Sheds = r.Requests + 1 }},
+		{"sheds plus errors", func(r *LoadReport) { r.Sheds = r.Requests - r.Errors + 1 }},
+		{"shed rate", func(r *LoadReport) { r.ShedRate = -0.1 }},
+		{"shed sum", func(r *LoadReport) { r.Endpoints[0].Sheds++ }},
+		{"buckets without width", func(r *LoadReport) { r.BucketNS = 0 }},
+		{"width without buckets", func(r *LoadReport) { r.Buckets = nil }},
+		{"bucket span", func(r *LoadReport) { r.Buckets[1].StartNS++ }},
+		{"bucket request sum", func(r *LoadReport) { r.Buckets[0].Requests++ }},
+		{"bucket error sum", func(r *LoadReport) { r.Buckets[0].Errors = r.Buckets[0].Requests + 1 }},
+		{"bucket shed sum", func(r *LoadReport) { r.Buckets[0].Sheds++ }},
+		{"bucket latency order", func(r *LoadReport) { r.Buckets[1].Latency.P50NS = r.Buckets[1].Latency.MaxNS + 1 }},
 	}
 	for _, tc := range cases {
 		rep := good()
@@ -112,7 +180,7 @@ func TestLoadReportValidateRejects(t *testing.T) {
 }
 
 func TestLoadReportRoundTrip(t *testing.T) {
-	rep := BuildLoadReport("routeload -test", "http://x", []string{"alpha"}, 2, 3e9, loadSamples())
+	rep := BuildLoadReport("routeload -test", "http://x", []string{"alpha"}, 2, 3e9, 1e9, loadSamples())
 	path := filepath.Join(t.TempDir(), "LOAD_routelab.json")
 	if err := rep.WriteFile(path); err != nil {
 		t.Fatal(err)
@@ -138,7 +206,7 @@ func TestLoadReportRoundTrip(t *testing.T) {
 }
 
 func TestLoadReportValidateMessage(t *testing.T) {
-	rep := BuildLoadReport("c", "t", nil, 1, 1e9, loadSamples())
+	rep := BuildLoadReport("c", "t", nil, 1, 1e9, 0, loadSamples())
 	rep.Schema = "bogus"
 	err := rep.Validate()
 	if err == nil || !strings.Contains(err.Error(), LoadSchema) {

@@ -39,6 +39,11 @@ type Config struct {
 	// copies a request consumes instead of forking on the hot path.
 	// <= 0 selects the default (2).
 	ForkPool int
+	// MaxQueuedRequests bounds the admission gate's queue: a request
+	// arriving while MaxQueuedRequests callers are already waiting for a
+	// compute slot is shed with 429/Retry-After instead of joining the
+	// line. 0 disables shedding (requests queue until their deadline).
+	MaxQueuedRequests int
 }
 
 // Server answers queries over one sealed Scenario. Create with New;
@@ -59,6 +64,12 @@ type Server struct {
 	pools    map[asn.Prefix]*forkPool
 	traceIdx map[int]int // Measurement.TraceID -> index into s.Measurements
 	health   []byte      // static healthz body
+	size     int64       // resident-byte estimate from the build-time accounting walk
+
+	// computeHook, when set (tests only), runs inside compute after the
+	// admission gate is entered and before the body function — a seam
+	// the saturation suite uses to hold compute slots deterministically.
+	computeHook func()
 }
 
 // New assembles a single-scenario Server (the legacy routelabd mode and
@@ -111,11 +122,18 @@ func newTenant(id string, s *scenario.Scenario, cfg Config, shared *cache) *Serv
 		panic("service: marshal health envelope: " + err.Error())
 	}
 	srv.health = health
+	// The accounting walk runs last: pools are stocked and the health
+	// body exists, so the estimate covers the tenant's full footprint.
+	srv.size = srv.accountSize()
 
 	for _, rt := range scenarioRoutes {
 		srv.handle(rt.method+" /v1"+rt.path, rt.name, srv.bind(rt.h))
 	}
 	srv.handle("GET /v1/metrics", "metrics", serveMetrics)
+	// Deliberately not in scenarioRoutes: in fleet mode the build route
+	// must bypass the tenant resolver (see Fleet.serveBuildProgress);
+	// here the scenario is pre-built, so the snapshot is static.
+	srv.handle("GET /v1/build", "build", srv.serveBuildStatic)
 	srv.mux.HandleFunc("/", serveNotFound)
 	return srv
 }
@@ -220,10 +238,22 @@ const CacheHeader = "X-Routelab-Cache"
 // key shape; see TestNoCrossScenarioCacheServe).
 func (srv *Server) compute(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) ([]byte, bool, error) {
 	body, hit, err := srv.cache.do(ctx, srv.id+"|"+key, func() ([]byte, error) {
+		// Shed before queueing: a gate line already at budget means this
+		// computation would sit behind work it may not outlive. Coalesced
+		// waiters on this key inherit the OverloadError and 429 too (each
+		// counted at its own write site).
+		if max := srv.cfg.MaxQueuedRequests; max > 0 {
+			if q := srv.gate.Waiting(); q >= max {
+				return nil, &OverloadError{What: "request", Queue: q, Limit: max, RetryAfter: requestRetryAfter}
+			}
+		}
 		if err := srv.gate.Enter(ctx); err != nil {
 			return nil, err
 		}
 		defer srv.gate.Leave()
+		if srv.computeHook != nil {
+			srv.computeHook()
+		}
 		return fn(ctx)
 	})
 	obs.SetGauge("service.cache.entries", float64(srv.cache.len()))
@@ -291,6 +321,9 @@ const (
 	CodeTooLarge = "too_large"
 	// CodeTimeout: the request ran out of time (gate queue or compute).
 	CodeTimeout = "timeout"
+	// CodeOverloaded: the server shed the request because a gate queue
+	// was at budget; retry after the Retry-After header's delay.
+	CodeOverloaded = "overloaded"
 	// CodeInternal: a server-side failure the client cannot repair.
 	CodeInternal = "internal"
 )
@@ -310,10 +343,15 @@ func fail(w http.ResponseWriter, status int, e APIError) {
 	write(w, body)
 }
 
-// failCompute maps a computation failure to a status: deadline or
-// cancellation (the request ran out of time in the gate queue or
-// mid-computation) is 504, anything else 500.
+// failCompute maps a computation failure to a status: a shed is 429
+// with Retry-After, deadline or cancellation (the request ran out of
+// time in the gate queue or mid-computation) is 504, anything else 500.
 func failCompute(w http.ResponseWriter, err error) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		failOverload(w, oe)
+		return
+	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		fail(w, http.StatusGatewayTimeout, apiErr(CodeTimeout, "request deadline exceeded: "+err.Error()))
 		return

@@ -1,0 +1,141 @@
+package service
+
+import "reflect"
+
+// Memory accounting: the store's byte-budget eviction needs each sealed
+// tenant's resident cost, measured once at build time (a sealed
+// scenario never grows, so the number stays true for the tenant's whole
+// residency). sizeOf walks the object graph with reflect — no unsafe —
+// and sums an estimate:
+//
+//   - every heap object reached through pointers, slices, maps, and
+//     interfaces is counted once (a visited set keyed by data pointer
+//     handles the heavy sharing in the topology/RIB graph);
+//   - string bytes are counted per reference: reflect cannot take a
+//     string's data pointer without unsafe, so interned AS-path strings
+//     are over-counted. That errs toward evicting sooner, the safe
+//     direction for a memory budget;
+//   - map storage is estimated as len × (key+elem size + per-entry
+//     overhead) — Go's map internals are not reachable by reflection;
+//   - channel buffers count cap × elem size, but buffered VALUES are
+//     invisible to reflect, which is why tenantSizeBytes measures fork
+//     pools with a sample fork instead of walking the channel.
+//
+// The estimate is deterministic for a sealed scenario: the walk's
+// iteration order varies, but sums are commutative and sharing is
+// deduplicated by identity, so every walk of the same graph yields the
+// same total.
+
+// mapEntryOverhead approximates Go's per-entry bucket cost (tophash,
+// partial bucket occupancy, overflow pointers).
+const mapEntryOverhead = 16
+
+type sizeWalker struct {
+	seen map[uintptr]bool
+}
+
+// sizeOf estimates the resident bytes of v's full object graph.
+func sizeOf(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	w := &sizeWalker{seen: make(map[uintptr]bool)}
+	rv := reflect.ValueOf(v)
+	return int64(rv.Type().Size()) + w.referenced(rv)
+}
+
+// referenced returns the heap bytes reachable FROM v, excluding v's own
+// inline representation (the container already counted that).
+func (w *sizeWalker) referenced(v reflect.Value) int64 {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() || w.seen[v.Pointer()] {
+			return 0
+		}
+		w.seen[v.Pointer()] = true
+		e := v.Elem()
+		return int64(e.Type().Size()) + w.referenced(e)
+	case reflect.Interface:
+		if v.IsNil() {
+			return 0
+		}
+		e := v.Elem()
+		return int64(e.Type().Size()) + w.referenced(e)
+	case reflect.Slice:
+		if v.IsNil() || w.seen[v.Pointer()] {
+			return 0
+		}
+		w.seen[v.Pointer()] = true
+		n := int64(v.Cap()) * int64(v.Type().Elem().Size())
+		for i := 0; i < v.Len(); i++ {
+			n += w.referenced(v.Index(i))
+		}
+		return n
+	case reflect.Array:
+		var n int64
+		for i := 0; i < v.Len(); i++ {
+			n += w.referenced(v.Index(i))
+		}
+		return n
+	case reflect.String:
+		return int64(v.Len())
+	case reflect.Map:
+		if v.IsNil() || w.seen[v.Pointer()] {
+			return 0
+		}
+		w.seen[v.Pointer()] = true
+		t := v.Type()
+		n := int64(v.Len()) * (int64(t.Key().Size()) + int64(t.Elem().Size()) + mapEntryOverhead)
+		iter := v.MapRange()
+		for iter.Next() {
+			// Iteration order is random, but addition commutes and the
+			// visited set dedupes by identity, so the sum is stable.
+			n += w.referenced(iter.Key())
+			n += w.referenced(iter.Value())
+		}
+		return n
+	case reflect.Struct:
+		var n int64
+		for i := 0; i < v.NumField(); i++ {
+			n += w.referenced(v.Field(i))
+		}
+		return n
+	case reflect.Chan:
+		if v.IsNil() || w.seen[v.Pointer()] {
+			return 0
+		}
+		w.seen[v.Pointer()] = true
+		return int64(v.Cap()) * int64(v.Type().Elem().Size())
+	default:
+		// Scalars, funcs, unsafe pointers: inline or unknowable.
+		return 0
+	}
+}
+
+// accountSize runs the build-time accounting walk for one tenant: the
+// sealed scenario graph (topology, RIB snapshots, measurements, and
+// the warm per-prefix anycast bases the pools were stocked from —
+// AnycastBase caches them on the scenario's testbed, so the scenario
+// walk reaches them), plus the static per-tenant state and the fork
+// pools. Pooled forks sit in channel buffers reflect cannot see into,
+// so their cost is measured from one sample fork — its incremental
+// copy-on-write overlay over the already-visited base — times the
+// stocked depth. Call after the pools are stocked (newTenant does).
+func (srv *Server) accountSize() int64 {
+	w := &sizeWalker{seen: make(map[uintptr]bool)}
+	rs := reflect.ValueOf(srv.s)
+	n := int64(rs.Type().Size()) + w.referenced(rs)
+	n += w.referenced(reflect.ValueOf(srv.traceIdx))
+	n += w.referenced(reflect.ValueOf(srv.health))
+	for prefix, p := range srv.pools {
+		sample := srv.s.Testbed.AnycastBase(prefix).Fork()
+		perFork := w.referenced(reflect.ValueOf(sample))
+		n += perFork * int64(cap(p.ch))
+	}
+	return n
+}
+
+// SizeBytes reports the tenant's resident-byte estimate, measured once
+// at build time (sealed scenarios do not grow). The store's byte
+// budget sums these across residents to drive eviction.
+func (srv *Server) SizeBytes() int64 { return srv.size }

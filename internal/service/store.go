@@ -25,12 +25,26 @@ var ErrUnknownScenario = errors.New("unknown scenario id")
 type StoreConfig struct {
 	// MaxScenarios bounds how many sealed (built) scenarios stay
 	// resident at once; the least-recently-served is evicted past the
-	// cap and rebuilt on demand. <= 0 selects the default (4).
+	// cap and rebuilt on demand. <= 0 selects the default (4). Ignored
+	// when MaxScenarioBytes is set.
 	MaxScenarios int
+	// MaxScenarioBytes, when > 0, switches eviction from count to
+	// memory accounting: each tenant's build-time SizeBytes estimate is
+	// charged against this budget, and the least-recently-served
+	// tenants are evicted while the total exceeds it. The most recent
+	// tenant is never evicted, so one over-budget world serves rather
+	// than thrashes.
+	MaxScenarioBytes int64
 	// MaxBuilds bounds concurrent scenario builds. Builds are the
 	// expensive multi-core phase, so the default (1) serializes them;
 	// requests for distinct cold scenarios queue.
 	MaxBuilds int
+	// MaxQueuedBuilds bounds the build gate's queue: a cold-scenario
+	// request arriving while MaxQueuedBuilds builds are already waiting
+	// for a build slot is shed with 429/Retry-After instead of joining
+	// the line. 0 disables shedding (builds queue until the requester's
+	// deadline).
+	MaxQueuedBuilds int
 	// CacheSize bounds the fleet-wide response cache (entries) shared by
 	// every tenant; <= 0 selects the default (256). Keys are namespaced
 	// by scenario id, and a tenant's partition is purged on eviction.
@@ -54,11 +68,18 @@ type Store struct {
 	buildGate *parallel.Gate
 	cache     *cache // shared across tenants, keys namespaced by id
 
-	mu       sync.Mutex
-	sources  map[string]*source
-	order    *list.List               // built ids, front = most recently served
-	builtIdx map[string]*list.Element // id -> element; value *builtEntry
-	building map[string]*buildCall
+	mu            sync.Mutex
+	sources       map[string]*source
+	order         *list.List               // built ids, front = most recently served
+	builtIdx      map[string]*list.Element // id -> element; value *builtEntry
+	building      map[string]*buildCall
+	progress      map[string]*buildProgress // live/failed build trackers by id
+	residentBytes int64                     // sum of resident builtEntry.bytes
+
+	// buildHook, when set (tests only), runs inside build while the
+	// build gate is held — a seam the saturation suite uses to hold the
+	// gate deterministically.
+	buildHook func(id string)
 }
 
 // source is one registered spec: identity plus the compiled, validated
@@ -71,6 +92,7 @@ type source struct {
 type builtEntry struct {
 	id     string
 	tenant *Server
+	bytes  int64 // the tenant's SizeBytes estimate, charged to the byte budget
 }
 
 type buildCall struct {
@@ -96,6 +118,7 @@ func NewStore(cfg StoreConfig) *Store {
 		order:     list.New(),
 		builtIdx:  make(map[string]*list.Element),
 		building:  make(map[string]*buildCall),
+		progress:  make(map[string]*buildProgress),
 	}
 }
 
@@ -183,7 +206,10 @@ func (st *Store) Infos() []ScenarioInfo {
 	infos := make([]ScenarioInfo, 0, len(st.sources))
 	for id, src := range st.sources {
 		info := src.info
-		_, info.Built = st.builtIdx[id]
+		if el, ok := st.builtIdx[id]; ok {
+			info.Built = true
+			info.SizeBytes = el.Value.(*builtEntry).bytes
+		}
 		infos = append(infos, info)
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
@@ -199,7 +225,10 @@ func (st *Store) Info(id string) (ScenarioInfo, error) {
 		return ScenarioInfo{}, fmt.Errorf("%w: %q", ErrUnknownScenario, id)
 	}
 	info := src.info
-	_, info.Built = st.builtIdx[id]
+	if el, ok := st.builtIdx[id]; ok {
+		info.Built = true
+		info.SizeBytes = el.Value.(*builtEntry).bytes
+	}
 	return info, nil
 }
 
@@ -282,40 +311,124 @@ func (st *Store) Get(ctx context.Context, id string) (*Server, error) {
 // build seals one scenario and wraps it in a tenant. The build gate
 // bounds how many run at once; the requester's ctx only governs its
 // place in the queue (scenario.Build is not cancelable, and a finished
-// build is always worth keeping).
+// build is always worth keeping). When the gate's queue is already at
+// MaxQueuedBuilds the build is shed instead of queued — the
+// OverloadError propagates to every waiter coalesced on this id, and
+// each writes (and counts) its own 429.
 func (st *Store) build(ctx context.Context, id string, src *source) (*Server, error) {
+	if max := st.cfg.MaxQueuedBuilds; max > 0 {
+		if q := st.buildGate.Waiting(); q >= max {
+			return nil, &OverloadError{What: "build", Queue: q, Limit: max, RetryAfter: buildRetryAfter(q)}
+		}
+	}
 	if err := st.buildGate.Enter(ctx); err != nil {
 		return nil, err
 	}
 	defer st.buildGate.Leave()
+	if st.buildHook != nil {
+		st.buildHook(id)
+	}
+
+	// Track this build for GET /v1/scenarios/{id}/build: the obs stage
+	// events the pipeline already emits advance the per-id tracker.
+	bp := newBuildProgress()
+	st.mu.Lock()
+	st.progress[id] = bp
+	st.mu.Unlock()
+	cancelStage := obs.OnStage(bp.event)
+	defer cancelStage()
+
 	defer obs.StartStage("service/scenario-build")()
 	obs.Inc("service.scenario.builds")
 	s, err := scenario.Build(src.cfg, st.cfg.Logf)
 	if err != nil {
+		bp.mu.Lock()
+		bp.state = BuildFailed
+		bp.lastErr = err.Error()
+		bp.mu.Unlock()
 		return nil, fmt.Errorf("service: build scenario %q: %w", id, err)
 	}
-	return newTenant(id, s, st.cfg.Tenant, st.cache), nil
+	tenant := newTenant(id, s, st.cfg.Tenant, st.cache)
+	// Built (insert will drop the tracker; this covers the window
+	// between returning and the caller's insert under st.mu).
+	bp.mu.Lock()
+	bp.state = BuildBuilt
+	bp.mu.Unlock()
+	return tenant, nil
 }
 
-// insert records a freshly-built tenant and evicts past the cap.
-// Caller holds st.mu.
+// BuildProgress reports the build state of one registered scenario
+// without touching the store's Get path — polling progress must never
+// trigger or wait on a build. Residency wins (built), then a live or
+// failed tracker, then pending.
+func (st *Store) BuildProgress(id string) (BuildProgressData, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sources[id]; !ok {
+		return BuildProgressData{}, fmt.Errorf("%w: %q", ErrUnknownScenario, id)
+	}
+	if _, ok := st.builtIdx[id]; ok {
+		return BuildProgressData{
+			ID:         id,
+			State:      BuildBuilt,
+			Percent:    100,
+			PhasesDone: len(buildPhases),
+			Phases:     len(buildPhases),
+		}, nil
+	}
+	if bp, ok := st.progress[id]; ok {
+		return bp.snapshot(id), nil
+	}
+	return BuildProgressData{ID: id, State: BuildPending, Phases: len(buildPhases)}, nil
+}
+
+// ResidentBytes reports the store's current byte-budget charge: the
+// sum of every resident tenant's SizeBytes estimate.
+func (st *Store) ResidentBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.residentBytes
+}
+
+// insert records a freshly-built tenant and evicts past the budget:
+// resident bytes when MaxScenarioBytes is set (the memory-accounted
+// policy), resident count otherwise. Caller holds st.mu.
 func (st *Store) insert(id string, tenant *Server) {
-	st.builtIdx[id] = st.order.PushFront(&builtEntry{id: id, tenant: tenant})
-	for st.order.Len() > st.cfg.MaxScenarios {
-		el := st.order.Back()
-		st.order.Remove(el)
-		evicted := el.Value.(*builtEntry)
-		delete(st.builtIdx, evicted.id)
-		// Purge the evicted tenant's cache partition: responses are
-		// deterministic, so dropping them only costs recomputation, and
-		// keeping them would hold the evicted world's bodies in memory.
-		st.cache.removePrefix(evicted.id + "|")
-		// Join the evicted tenant's fork-pool refills so no goroutine
-		// keeps the evicted world's forks alive. Refills are bounded (one
-		// Fork plus a non-blocking send) and never take st.mu, so waiting
-		// under the lock is cheap and deadlock-free.
-		evicted.tenant.Close()
-		obs.Inc("service.scenario.evictions")
+	delete(st.progress, id) // residency now answers BuildProgress
+	e := &builtEntry{id: id, tenant: tenant, bytes: tenant.SizeBytes()}
+	st.builtIdx[id] = st.order.PushFront(e)
+	st.residentBytes += e.bytes
+	if st.cfg.MaxScenarioBytes > 0 {
+		// Never evict the sole resident: one over-budget world should
+		// serve (and report its true cost) rather than thrash forever.
+		for st.residentBytes > st.cfg.MaxScenarioBytes && st.order.Len() > 1 {
+			st.evictOldest()
+		}
+	} else {
+		for st.order.Len() > st.cfg.MaxScenarios {
+			st.evictOldest()
+		}
 	}
 	obs.SetGauge("service.scenario.built", float64(st.order.Len()))
+	obs.SetGauge("service.scenario.resident_bytes", float64(st.residentBytes))
+}
+
+// evictOldest drops the least-recently-served tenant. Caller holds
+// st.mu.
+func (st *Store) evictOldest() {
+	el := st.order.Back()
+	st.order.Remove(el)
+	evicted := el.Value.(*builtEntry)
+	delete(st.builtIdx, evicted.id)
+	st.residentBytes -= evicted.bytes
+	// Purge the evicted tenant's cache partition: responses are
+	// deterministic, so dropping them only costs recomputation, and
+	// keeping them would hold the evicted world's bodies in memory.
+	st.cache.removePrefix(evicted.id + "|")
+	// Join the evicted tenant's fork-pool refills so no goroutine
+	// keeps the evicted world's forks alive. Refills are bounded (one
+	// Fork plus a non-blocking send) and never take st.mu, so waiting
+	// under the lock is cheap and deadlock-free.
+	evicted.tenant.Close()
+	obs.Inc("service.scenario.evictions")
 }
